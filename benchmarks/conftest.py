@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Default sizes are laptop/CI scale; set ``SNOWFLAKE_BENCH_SIZE`` (per-dim
+cells, e.g. 128 or 256) to approach the paper's problem sizes.  The
+corresponding paper tables/figures are regenerated in printable form by
+``python -m repro.figures {fig6,fig7,fig8,fig9}``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+
+def bench_size(default: int = 32) -> int:
+    return int(os.environ.get("SNOWFLAKE_BENCH_SIZE", default))
+
+
+@pytest.fixture(scope="session")
+def op_size():
+    """Operator benchmarks (Figs.7-8): per-dimension interior cells."""
+    return bench_size(32)
+
+
+@pytest.fixture(scope="session")
+def gmg_size():
+    """Full-solver benchmarks (Fig.9)."""
+    return bench_size(16)

@@ -1,0 +1,105 @@
+"""Ablations of the OpenMP micro-compiler's optimizations (E8).
+
+SectionIV-A describes three knobs — task-based scheduling with greedy
+barriers, arbitrary-dimension tiling, and multicolor reordering.  Each
+benchmark here isolates one of them on the VC GSRB smoother so the
+report shows what each transformation buys (or costs) on this host.
+"""
+
+import pytest
+
+from repro.figures.common import build_case
+from repro.tuning import autotune_tile
+
+
+def _runner(case, backend="openmp", **options):
+    run = case.compile(backend, **options)
+    run()  # JIT warmup
+    return run
+
+
+def test_multicolor_reordering_on(benchmark, op_size):
+    case = build_case("vc_gsrb", op_size)
+    benchmark(_runner(case, multicolor=True))
+
+
+def test_multicolor_reordering_off(benchmark, op_size):
+    case = build_case("vc_gsrb", op_size)
+    benchmark(_runner(case, multicolor=False))
+
+
+@pytest.mark.parametrize("tile", [2, 8, 32])
+def test_tile_size(benchmark, tile, op_size):
+    case = build_case("vc_gsrb", op_size)
+    benchmark(_runner(case, tile=tile))
+    benchmark.extra_info["tile"] = tile
+
+
+def test_schedule_greedy(benchmark, op_size):
+    case = build_case("vc_gsrb", op_size)
+    benchmark(_runner(case, schedule="greedy"))
+
+
+def test_schedule_serial_barriers(benchmark, op_size):
+    """Barrier after every stencil — what the greedy grouping avoids."""
+    case = build_case("vc_gsrb", op_size)
+    benchmark(_runner(case, schedule="serial"))
+
+
+def test_schedule_wavefront(benchmark, op_size):
+    case = build_case("vc_gsrb", op_size)
+    benchmark(_runner(case, schedule="wavefront"))
+
+
+def test_fusion_off(benchmark, op_size):
+    """Residual + error-estimate pair sharing a domain, unfused."""
+    case = _fusable_pair(op_size)
+    benchmark(_runner(case, backend="c", fuse=False))
+
+
+def test_fusion_on(benchmark, op_size):
+    """Same pair fused into one loop nest (reads u once per point)."""
+    case = _fusable_pair(op_size)
+    benchmark(_runner(case, backend="c", fuse=True))
+
+
+def _fusable_pair(n):
+    import numpy as np
+
+    from repro.core.components import Component
+    from repro.core.domains import RectDomain
+    from repro.core.stencil import Stencil, StencilGroup
+    from repro.core.weights import SparseArray
+    from repro.figures.common import OperatorCase
+    from repro.hpgmg.level import Level
+
+    level = Level(n, 3, coefficients="constant")
+    rng = np.random.default_rng(5)
+    level.grids["x"][level.interior] = rng.random((n,) * 3)
+    interior = RectDomain((1, 1, 1), (-1, -1, -1))
+    w = {(0, 0, 0): 6.0}
+    for d in range(3):
+        for s in (-1, 1):
+            off = [0, 0, 0]
+            off[d] = s
+            w[tuple(off)] = -1.0
+    lap = Component("x", SparseArray(w))
+    blur = Component("x", SparseArray({k: abs(v) / 12 for k, v in w.items()}))
+    group = StencilGroup(
+        [
+            Stencil(lap, "res", interior, name="apply"),
+            Stencil(blur, "tmp", interior, name="blur"),
+        ]
+    )
+    return OperatorCase("fusable_pair", level, group, points=n**3)
+
+
+def test_autotuned_tile(benchmark, op_size):
+    """The paper's 'method of tuning tiling sizes' end to end."""
+    case = build_case("vc_gsrb", op_size)
+    result = autotune_tile(
+        case.group, case.arrays(), backend="openmp",
+        candidates=(4, 16, 64), repeats=1,
+    )
+    benchmark(_runner(case, tile=result.best_tile))
+    benchmark.extra_info["best_tile"] = result.best_tile

@@ -1,0 +1,41 @@
+"""Cost of the analysis itself: domain-size independence.
+
+The point of solving Diophantine systems instead of enumerating points
+(paper SectionIII): planning a stencil group costs the same for an 8³
+domain and a (simulated) 1024³ one.  These benchmarks time the exact
+analysis at wildly different domain sizes — the report should show flat
+times — plus the full greedy planning of a 13-stencil smoother and a
+38-stencil two-smooth pipeline.
+"""
+
+import pytest
+
+from repro.analysis.dag import plan
+from repro.analysis.dependence import is_parallel_safe
+from repro.hpgmg.operators import cc_laplacian, gsrb_stencils, smooth_group, vc_laplacian
+
+
+@pytest.mark.parametrize("n", [8, 128, 1024])
+def test_inplace_legality_is_size_independent(benchmark, n):
+    red, _ = gsrb_stencils(3, cc_laplacian(3, 1.0 / n), lam=0.1)
+    shapes = {g: (n + 2,) * 3 for g in red.grids()}
+    result = benchmark(is_parallel_safe, red, shapes)
+    assert result
+    benchmark.extra_info["domain_points"] = n**3
+
+
+@pytest.mark.parametrize("n", [16, 512])
+def test_greedy_plan_smoother(benchmark, n):
+    group = smooth_group(3, vc_laplacian(3, 1.0 / n), lam="lam")
+    shapes = {g: (n + 2,) * 3 for g in group.grids()}
+    p = benchmark(plan, group, shapes)
+    assert p.stencil_count() == len(group)
+    benchmark.extra_info["stencils"] = len(group)
+
+
+def test_greedy_plan_two_smooth_pipeline(benchmark):
+    group = smooth_group(3, vc_laplacian(3, 1.0 / 64), lam="lam", n_smooths=2)
+    shapes = {g: (66,) * 3 for g in group.grids()}
+    p = benchmark(plan, group, shapes)
+    benchmark.extra_info["stencils"] = len(group)
+    benchmark.extra_info["phases"] = len(p.phases)

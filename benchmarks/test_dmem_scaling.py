@@ -1,0 +1,41 @@
+"""Distributed-memory backend: rank scaling of the VC GSRB smoother.
+
+On a single-core container the interesting measurable is not speedup
+but the *cost decomposition*: per-rank kernel time stays proportional
+to the slab size while communication volume grows with the number of
+interfaces.  ``extra_info`` records messages and halo bytes per sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dmem import DistributedKernel
+from repro.hpgmg.operators import smooth_group, vc_laplacian
+
+
+def make(n, nranks):
+    group = smooth_group(2, vc_laplacian(2, 1.0 / n), lam="lam")
+    shape = (n + 2, n + 2)
+    rng = np.random.default_rng(3)
+    arrays = {g: rng.random(shape) for g in group.grids()}
+    arrays["lam"] = 0.01 * np.ones(shape)
+    dk = DistributedKernel(group, shape, nranks, backend="c")
+    return dk, arrays
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_distributed_gsrb(benchmark, nranks, op_size):
+    n = max(op_size, 32)
+    dk, arrays = make(n, nranks)
+    dk(**arrays)  # warmup (JIT per rank)
+    m0, b0 = dk.comm_stats.messages, dk.comm_stats.bytes_sent
+
+    benchmark(lambda: dk(**arrays))
+
+    sweeps = dk.comm_stats.messages - m0
+    benchmark.extra_info["ranks"] = nranks
+    if benchmark.stats["rounds"]:
+        per_call = sweeps / (
+            benchmark.stats["rounds"] * benchmark.stats["iterations"]
+        )
+        benchmark.extra_info["messages_per_sweep"] = round(per_call, 1)

@@ -1,0 +1,45 @@
+"""Fig.6 — modified STREAM (dot product) bandwidth.
+
+Regenerates the Roofline denominator measurement.  ``pytest-benchmark``
+times the kernels; the derived GB/s figures are attached to
+``benchmark.extra_info`` so the report carries the same numbers the
+paper's figure plots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.stream import _c_dot
+
+N = 2**22  # 32 MiB per array: comfortably DRAM-resident
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(7)
+    return rng.random(N), rng.random(N)
+
+
+def _attach_bw(benchmark):
+    moved = 2.0 * 8.0 * N
+    benchmark.extra_info["GB/s"] = round(moved / benchmark.stats["min"] / 1e9, 2)
+
+
+def test_stream_dot_c(benchmark, vectors):
+    a, b = vectors
+    dot = _c_dot(openmp=False)
+    benchmark(dot, a, b)
+    _attach_bw(benchmark)
+
+
+def test_stream_dot_openmp(benchmark, vectors):
+    a, b = vectors
+    dot = _c_dot(openmp=True)
+    benchmark(dot, a, b)
+    _attach_bw(benchmark)
+
+
+def test_stream_dot_numpy(benchmark, vectors):
+    a, b = vectors
+    benchmark(np.dot, a, b)
+    _attach_bw(benchmark)

@@ -1,0 +1,66 @@
+"""Fig.7 — stencils/s for CC 7-pt, CC Jacobi, VC GSRB (fixed size).
+
+Three implementations per operator, mirroring the figure's bars:
+
+* ``snowflake_openmp`` / ``snowflake_c`` — DSL-generated code
+* ``snowflake_opencl`` — generated OpenCL executed on the CPU simulator
+* ``baseline`` — the hand-optimized C comparator ("HPGMG" role)
+
+Each benchmark's ``extra_info`` records stencils/s and the fraction of
+the host STREAM-dot roofline achieved, the paper's figure of merit.
+Paper-platform projections: ``python -m repro.figures fig7``.
+"""
+
+import pytest
+
+from repro.figures.common import build_case
+from repro.figures.fig7 import _baseline_runner
+from repro.machine.roofline import PAPER_BYTES_PER_STENCIL, roofline_stencils_per_s
+from repro.machine.specs import host_spec
+
+OPERATORS = ("cc_7pt", "cc_jacobi", "vc_gsrb")
+
+
+def _attach(benchmark, points, name):
+    rate = points / benchmark.stats["min"]
+    benchmark.extra_info["stencils_per_s"] = round(rate)
+    bound = roofline_stencils_per_s(
+        host_spec(), PAPER_BYTES_PER_STENCIL[name]
+    )
+    benchmark.extra_info["roofline_fraction"] = round(rate / bound, 3)
+
+
+@pytest.mark.parametrize("name", OPERATORS)
+def test_snowflake_openmp(benchmark, name, op_size):
+    case = build_case(name, op_size)
+    run = case.compile("openmp")
+    run()  # JIT warmup outside the timed region
+    benchmark(run)
+    _attach(benchmark, case.points, name)
+
+
+@pytest.mark.parametrize("name", OPERATORS)
+def test_snowflake_c(benchmark, name, op_size):
+    case = build_case(name, op_size)
+    run = case.compile("c")
+    run()
+    benchmark(run)
+    _attach(benchmark, case.points, name)
+
+
+@pytest.mark.parametrize("name", OPERATORS)
+def test_snowflake_opencl_sim(benchmark, name, op_size):
+    case = build_case(name, op_size)
+    run = case.compile("opencl-sim")
+    run()
+    benchmark(run)
+    _attach(benchmark, case.points, name)
+
+
+@pytest.mark.parametrize("name", OPERATORS)
+def test_baseline_hand_optimized(benchmark, name, op_size):
+    case = build_case(name, op_size)
+    run = _baseline_runner(name, case)
+    run()
+    benchmark(run)
+    _attach(benchmark, case.points, name)

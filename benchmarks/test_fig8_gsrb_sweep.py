@@ -1,0 +1,58 @@
+"""Fig.8 — VC GSRB smoother time across the multigrid size ladder.
+
+One benchmark per (size, implementation).  The paper's ladder is
+32³…256³; the default here is 8³…`op_size`³ so the sweep finishes on a
+laptop — raise ``SNOWFLAKE_BENCH_SIZE`` to extend it.  The Roofline
+bound and cache-residency flag ride along in ``extra_info`` so the
+"small sizes beat the DRAM roofline" crossover is visible in the report.
+"""
+
+import os
+
+import pytest
+
+from repro.figures.common import build_case, operator_work
+from repro.figures.fig7 import _baseline_runner
+from repro.machine.roofline import roofline_time
+from repro.machine.specs import host_spec
+
+_TOP = int(os.environ.get("SNOWFLAKE_BENCH_SIZE", 32))
+SIZES = [n for n in (8, 16, 32, 64, 128, 256) if n <= max(_TOP, 16)]
+
+
+def _attach(benchmark, n):
+    spec = host_spec()
+    work = operator_work("vc_gsrb", n)
+    benchmark.extra_info["dram_roofline_s"] = roofline_time(
+        spec, 64.0, work.points
+    )
+    benchmark.extra_info["cache_resident"] = bool(
+        work.working_set <= spec.cache_bytes
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gsrb_snowflake_openmp(benchmark, n):
+    case = build_case("vc_gsrb", n)
+    run = case.compile("openmp")
+    run()
+    benchmark(run)
+    _attach(benchmark, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gsrb_baseline(benchmark, n):
+    case = build_case("vc_gsrb", n)
+    run = _baseline_runner("vc_gsrb", case)
+    run()
+    benchmark(run)
+    _attach(benchmark, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gsrb_snowflake_opencl_sim(benchmark, n):
+    case = build_case("vc_gsrb", n)
+    run = case.compile("opencl-sim")
+    run()
+    benchmark(run)
+    _attach(benchmark, n)

@@ -1,0 +1,59 @@
+"""HPGMG in Snowflake: a full 3-D variable-coefficient multigrid solve.
+
+Reproduces the paper's headline demonstration (SectionV): the complete
+geometric multigrid solver — GSRB smoothing with interspersed Dirichlet
+boundaries, residual, full-weighting restriction, interpolation —
+written once in Python and executed through interchangeable backends.
+Prints the per-cycle residual history, the error against a manufactured
+solution, per-phase timing, and a backend comparison.
+
+Run:  python examples/multigrid_3d.py [size]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.hpgmg import MultigridSolver, setup_problem
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+
+print(f"setting up -∇·(β∇u) = f at {N}^3 with heterogeneous β ...")
+level, u_exact = setup_problem(N, ndim=3, coefficients="variable",
+                               backend="numpy")
+
+solver = MultigridSolver(level, backend="c", smoother="gsrb",
+                         n_pre=2, n_post=2)
+print(f"hierarchy: {[lvl.n for lvl in solver.levels]} "
+      f"({len(solver.levels)} levels)")
+
+t0 = time.perf_counter()
+history = solver.solve(cycles=10)
+elapsed = time.perf_counter() - t0
+
+print("\ncycle   residual (L2)   reduction")
+for i, r in enumerate(history):
+    red = history[i - 1] / r if i else float("nan")
+    print(f"{i:5d}   {r:13.3e}   {red:9.1f}x")
+
+err = np.max(np.abs(level.grids["x"][level.interior] - u_exact[level.interior]))
+print(f"\nmax error vs manufactured solution: {err:.3e}")
+print(f"solve time: {elapsed:.3f}s "
+      f"({10 * level.dof / elapsed / 1e6:.2f} MDOF/s over 10 V-cycles)")
+
+print("\nper-operation time:")
+for op, t in sorted(solver.timers.items()):
+    print(f"  {op:9s} {t.elapsed:7.3f}s  ({t.count} calls)")
+
+# -- the single-source portability claim --------------------------------------
+print("\nsame Python source, other backends (2 cycles each):")
+for backend in ("numpy", "openmp", "opencl-sim"):
+    lvl_b, _ = setup_problem(N, ndim=3, coefficients="variable",
+                             backend="numpy")
+    s_b = MultigridSolver(lvl_b, backend=backend)
+    t0 = time.perf_counter()
+    h = s_b.solve(cycles=2)
+    dt = time.perf_counter() - t0
+    print(f"  {backend:11s} residual {h[-1]:.3e} in {dt:.3f}s "
+          f"(incl. JIT)")

@@ -1,0 +1,98 @@
+"""The paper's Fig.4 worked end to end: variable-coefficient GSRB.
+
+Builds the complex smoothing operation of SectionII-B — a red-black
+colored, in-place, variable-coefficient 5-point stencil with linear
+Dirichlet boundary stencils — and uses it to *solve* a heterogeneous
+Poisson problem ``-∇·(β∇u) = f`` on the unit square by smoothing alone.
+
+Along the way it shows what the analysis engine proves about the group:
+that each colored half-sweep is hazard-free in-place, and where the
+greedy scheduler must place barriers.
+
+Run:  python examples/redblack_poisson.py
+"""
+
+import numpy as np
+
+from repro import Component, SparseArray, Stencil, StencilGroup
+from repro.analysis import intra_stencil_hazards, is_parallel_safe, plan
+from repro.hpgmg.operators import (
+    boundary_stencils,
+    red_black_domains,
+    vc_laplacian,
+)
+
+N = 64                      # interior cells per side
+H = 1.0 / N
+SHAPE = (N + 2, N + 2)      # one ghost cell per side
+
+# -- operator and smoother bodies (exactly the Fig.4 construction) ----------
+Ax = vc_laplacian(2, H, grid="mesh", beta_prefix="beta_")
+b = Component("rhs", SparseArray({(0, 0): 1.0}))
+original = Component("mesh", SparseArray({(0, 0): 1.0}))
+lambda_term = Component("lam", SparseArray({(0, 0): 1.0}))
+difference = b - Ax
+final = original + lambda_term * difference
+
+red, black = red_black_domains(2)
+red_stencil = Stencil(final, "mesh", red, name="red")
+black_stencil = Stencil(final, "mesh", black, name="black")
+
+# Dirichlet zero boundary: 4 rotationally equivalent face stencils.
+bcs = boundary_stencils(2, "mesh")
+
+group = StencilGroup(bcs + [red_stencil] + bcs + [black_stencil], "gsrb")
+
+# -- what the analysis engine can prove --------------------------------------
+shapes = {g: SHAPE for g in group.grids()}
+print("in-place red sweep parallel-safe?", is_parallel_safe(red_stencil, shapes))
+print("hazards reported:", intra_stencil_hazards(red_stencil, shapes))
+
+exec_plan = plan(group, shapes)
+print(f"\ngreedy schedule: {len(exec_plan.phases)} phases "
+      f"({exec_plan.n_barriers} barriers) for {len(group)} stencils")
+print(exec_plan.describe())
+
+# -- set up the heterogeneous problem -----------------------------------------
+rng = np.random.default_rng(3)
+ij = np.indices(SHAPE)
+xy = (ij - 0.5) * H
+
+beta_0 = 1.0 + 0.5 * np.sin(2 * np.pi * (xy[0] - 0.5 * H))
+beta_1 = 1.0 + 0.5 * np.cos(2 * np.pi * (xy[1] - 0.5 * H))
+
+diag = np.ones(SHAPE)
+diag[1:-1, 1:-1] = (
+    beta_0[1:-1, 1:-1] + beta_0[2:, 1:-1] + beta_1[1:-1, 1:-1] + beta_1[1:-1, 2:]
+) / (H * H)
+lam = 1.0 / diag
+
+grids = {
+    "mesh": np.zeros(SHAPE),
+    "rhs": np.zeros(SHAPE),
+    "lam": lam,
+    "beta_0": beta_0,
+    "beta_1": beta_1,
+}
+grids["rhs"][1:-1, 1:-1] = 1.0  # uniform heat source
+
+# -- smooth to convergence -----------------------------------------------------
+kernel = group.compile(backend="c")
+res_kernel = StencilGroup(
+    boundary_stencils(2, "mesh")
+    + [Stencil(difference, "res", red + black, name="residual")],
+    "res",
+).compile(backend="c")
+grids["res"] = np.zeros(SHAPE)
+
+for it in range(400):
+    kernel(**{g: grids[g] for g in group.grids()})
+    if it % 100 == 99:
+        res_kernel(**{g: grids[g] for g in ("mesh", "rhs", "res", "beta_0", "beta_1")})
+        r = np.max(np.abs(grids["res"][1:-1, 1:-1]))
+        print(f"iteration {it + 1:4d}: max residual {r:.3e}")
+
+u = grids["mesh"][1:-1, 1:-1]
+print(f"\nsolution: min {u.min():.4f}, max {u.max():.4f} "
+      f"(positive bump, zero at the boundary — as physics demands)")
+assert u.max() > 0 and abs(grids['mesh'][0, :]).max() > 0  # ghosts mirror

@@ -1,0 +1,6 @@
+"""Legacy shim: the environment's setuptools lacks the wheel package, so
+editable installs go through ``setup.py develop`` (metadata lives in
+pyproject.toml)."""
+from setuptools import setup
+
+setup()

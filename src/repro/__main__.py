@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — environment report: backends, compiler, cache, machine
+* ``selftest``  — compile-and-run a stencil through every backend
+* ``figures``   — alias for ``python -m repro.figures ...``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info() -> None:
+    import shutil
+
+    import numpy as np
+
+    from . import __version__, available_backends
+    from .backends import HAVE_COMPILED_BACKENDS
+    from .backends.jit import cache_dir, _cc
+
+    print(f"repro-snowflake {__version__}")
+    print(f"python {sys.version.split()[0]}, numpy {np.__version__}")
+    print(f"backends: {', '.join(available_backends())}")
+    cc = _cc()
+    print(
+        f"compiler: {cc} "
+        f"({'found' if shutil.which(cc) else 'NOT FOUND'}; "
+        f"compiled backends "
+        f"{'available' if HAVE_COMPILED_BACKENDS else 'unavailable'})"
+    )
+    print(f"jit cache: {cache_dir()}")
+    try:
+        from .machine.specs import host_spec
+
+        spec = host_spec()
+        print(f"host STREAM-dot bandwidth: {spec.stream_bw / 1e9:.2f} GB/s")
+    except Exception as e:  # pragma: no cover - measurement best-effort
+        print(f"host bandwidth: unavailable ({e})")
+
+
+def cmd_selftest() -> int:
+    import numpy as np
+
+    from . import Component, RectDomain, Stencil, WeightArray, available_backends
+
+    lap = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+    stencil = Stencil(lap, "out", RectDomain((1, 1), (-1, -1)))
+    rng = np.random.default_rng(0)
+    u = rng.random((34, 34))
+    ref = None
+    failed = 0
+    for backend in available_backends():
+        out = np.zeros_like(u)
+        try:
+            stencil.compile(backend=backend)(u=u, out=out)
+        except Exception as e:
+            print(f"  {backend:12s} ERROR: {e}")
+            failed += 1
+            continue
+        if ref is None:
+            ref = out
+        ok = np.allclose(out, ref)
+        print(f"  {backend:12s} {'OK' if ok else 'MISMATCH'}")
+        failed += 0 if ok else 1
+    print("selftest:", "PASS" if failed == 0 else f"FAIL ({failed})")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro")
+    sub = ap.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="environment report")
+    sub.add_parser("selftest", help="run every backend on a probe stencil")
+    fig = sub.add_parser("figures", help="regenerate paper figures")
+    fig.add_argument("rest", nargs=argparse.REMAINDER)
+    args = ap.parse_args(argv)
+
+    if args.command == "info":
+        cmd_info()
+        return 0
+    if args.command == "selftest":
+        return cmd_selftest()
+    if args.command == "figures":
+        from .figures.__main__ import main as fig_main
+
+        fig_main(args.rest)
+        return 0
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,160 @@
+"""Multicolor (red-black, 4-color, ...) domain analysis.
+
+Colored iteration orderings are Snowflake's idiom for legal in-place
+smoothing: each color is a union of stride-2 (or stride-k) boxes, and the
+Diophantine machinery proves that updating all points of one color in
+parallel never touches another point of the same color (paper Fig.3).
+
+This module provides the checks applications and tests lean on:
+partition validation (colors are disjoint and jointly cover a region) and
+per-color self-interference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from ..core.domains import DomainUnion, RectDomain, as_domain
+from ..core.stencil import Stencil
+from .dependence import is_parallel_safe
+
+__all__ = [
+    "domains_disjoint",
+    "union_self_disjoint",
+    "is_partition",
+    "color_parallel_safe",
+    "checkerboard",
+]
+
+
+def domains_disjoint(
+    a: "RectDomain | DomainUnion",
+    b: "RectDomain | DomainUnion",
+    shape: Sequence[int],
+) -> bool:
+    """Exact emptiness test of the intersection of two domains."""
+    ra = [r for r in as_domain(a).resolve(shape) if not r.is_empty()]
+    rb = [r for r in as_domain(b).resolve(shape) if not r.is_empty()]
+    return not any(x.intersects(y) for x in ra for y in rb)
+
+
+def union_self_disjoint(
+    dom: "RectDomain | DomainUnion", shape: Sequence[int]
+) -> bool:
+    """Do the member boxes of a union overlap each other?"""
+    rects = [r for r in as_domain(dom).resolve(shape) if not r.is_empty()]
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects[i].intersects(rects[j]):
+                return False
+    return True
+
+
+def is_partition(
+    colors: Sequence["RectDomain | DomainUnion"],
+    region: "RectDomain | DomainUnion",
+    shape: Sequence[int],
+) -> bool:
+    """Are ``colors`` pairwise disjoint and jointly exactly ``region``?
+
+    Disjointness is proven by lattice intersection; coverage is proven by
+    counting — for disjoint lattice unions, point counts are additive, so
+    the colors cover the region iff their sizes sum to the region's size
+    and each color lies inside the region.
+    """
+    for i in range(len(colors)):
+        if not union_self_disjoint(colors[i], shape):
+            return False
+        for j in range(i + 1, len(colors)):
+            if not domains_disjoint(colors[i], colors[j], shape):
+                return False
+    region_u = as_domain(region)
+    if not union_self_disjoint(region_u, shape):
+        raise ValueError("region must itself be a disjoint union")
+    region_count = region_u.npoints(shape)
+    total = 0
+    region_rects = [r for r in region_u.resolve(shape) if not r.is_empty()]
+    for c in colors:
+        cu = as_domain(c)
+        total += cu.npoints(shape)
+        # containment: every box of the color must avoid the region's
+        # complement; since boxes are lattices we verify by checking the
+        # color's points are within region via sampling the lattice
+        # corners plus an exact intersection count argument below.
+        for rc in cu.resolve(shape):
+            if rc.is_empty():
+                continue
+            if not any(_lattice_contained(rc, rr) for rr in region_rects):
+                # not inside a single region box; fall back to exact
+                # pointwise containment (small domains only in practice)
+                if rc.npoints <= 4096:
+                    if not all(
+                        any(rr.contains(p) for rr in region_rects)
+                        for p in rc.points()
+                    ):
+                        return False
+                else:
+                    return False
+    return total == region_count
+
+
+def _lattice_contained(inner, outer) -> bool:
+    """Sufficient containment test: inner's bounding extremes lie on
+    outer's lattice and within bounds, and inner's stride is a multiple
+    of outer's stride (or outer is dense)."""
+    for (il, ist, ic), (ol, ost, oc) in zip(
+        zip(inner.lows, inner.strides, inner.counts),
+        zip(outer.lows, outer.strides, outer.counts),
+    ):
+        ihigh = il + ist * (ic - 1)
+        ohigh = ol + ost * (oc - 1)
+        if il < ol or ihigh > ohigh:
+            return False
+        if ost == 0:
+            if not (il == ol == ihigh):
+                return False
+        else:
+            if (il - ol) % ost != 0:
+                return False
+            if ist % ost != 0 and ic > 1:
+                return False
+    return True
+
+
+def color_parallel_safe(
+    stencil: Stencil, shapes: Mapping[str, Sequence[int]]
+) -> bool:
+    """Is this (typically in-place, colored) stencil hazard-free?
+
+    For GSRB: the red sub-stencil reads only black neighbours, so the
+    write lattice (red) and the shifted read lattices (black) never meet;
+    the extended-gcd test proves it without enumerating points.
+    """
+    return is_parallel_safe(stencil, shapes)
+
+
+def checkerboard(ndim: int, ghost: int = 1) -> tuple[DomainUnion, DomainUnion]:
+    """(red, black) interior colorings; red holds the corner cell
+    ``(ghost,)*ndim``."""
+    red = RectDomain.colored(ndim, parity=0, ghost=ghost)
+    black = RectDomain.colored(ndim, parity=1, ghost=ghost)
+    return red, black
+
+
+def k_coloring(ndim: int, k_per_dim: int, ghost: int = 1) -> list[DomainUnion]:
+    """General ``k_per_dim**ndim``-coloring: one color per residue class
+    of each coordinate mod ``k_per_dim`` (Fig.3b's 4-color tiling is
+    ``ndim=2, k_per_dim=2``)."""
+    colors = []
+    for offs in itertools.product(range(k_per_dim), repeat=ndim):
+        start = tuple(ghost + o for o in offs)
+        colors.append(
+            DomainUnion(
+                [RectDomain(start, (-ghost,) * ndim, (k_per_dim,) * ndim)]
+            )
+        )
+    return colors
+
+
+__all__ += ["k_coloring"]

@@ -1,0 +1,34 @@
+"""Linear Diophantine solvers (public analysis-facing surface).
+
+The implementation lives in :mod:`repro.util.diophantine` purely to keep
+the package import graph acyclic (``core.domains`` needs the lattice
+arithmetic, and this package's ``__init__`` imports modules that need
+``core.domains``).  Conceptually the machinery belongs to the analysis
+layer, so it is re-exported here under its paper name.
+"""
+
+from ..util.diophantine import (  # noqa: F401
+    BoxedLinearSystem,
+    SolutionLine,
+    count_lattice_points,
+    extended_gcd,
+    first_lattice_point,
+    lattice_range_intersect,
+    lattice_ranges_intersect_nonempty,
+    rational_line_box_hit,
+    solve_linear_2var,
+    solve_linear_nvar,
+)
+
+__all__ = [
+    "BoxedLinearSystem",
+    "SolutionLine",
+    "count_lattice_points",
+    "extended_gcd",
+    "first_lattice_point",
+    "lattice_range_intersect",
+    "lattice_ranges_intersect_nonempty",
+    "rational_line_box_hit",
+    "solve_linear_2var",
+    "solve_linear_nvar",
+]

@@ -1,0 +1,119 @@
+"""Interval (bounding-box) dependence analysis — the strawman.
+
+The paper positions Snowflake's finite-domain Diophantine analysis
+against the interval analysis of infinite-domain frameworks like Halide
+(SectionIII: "boundary conditions ... do not create false dependencies
+which infinite-domain analyses such as Halide's interval analysis would
+flag"; SectionVI repeats the point).  To make that comparison concrete
+and testable, this module *implements* the interval analysis: accesses
+are collapsed to their per-dimension [min, max] bounding boxes and two
+accesses "conflict" when the boxes overlap.
+
+It is sound (never misses a real dependence — proven by a property
+test against the exact analysis) but weak: it cannot see strides, so
+red and black lattices "overlap", and it cannot use domain finiteness
+beyond the boxes themselves.  The test suite quantifies exactly which
+parallelism only the Diophantine analysis unlocks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.stencil import Stencil, StencilGroup
+from .footprint import Access, StencilAccesses, stencil_accesses
+
+__all__ = [
+    "boxes_overlap",
+    "interval_conflicts",
+    "interval_cross_stencil_dependence",
+    "interval_is_parallel_safe",
+    "interval_group_dependences",
+]
+
+
+def boxes_overlap(a: Access, b: Access) -> bool:
+    """Bounding-box test: strides are forgotten, only extents survive."""
+    if a.grid != b.grid:
+        return False
+    if a.lattice.is_empty() or b.lattice.is_empty():
+        return False
+    for lo1, hi1, lo2, hi2 in zip(
+        a.lattice.lows, a.lattice.highs(), b.lattice.lows, b.lattice.highs()
+    ):
+        if hi1 < lo2 or hi2 < lo1:
+            return False
+    return True
+
+
+def interval_conflicts(a: StencilAccesses, b: StencilAccesses) -> set[str]:
+    """RAW/WAR/WAW over bounding boxes (cf. footprint.access_conflicts)."""
+    kinds: set[str] = set()
+    if any(boxes_overlap(w, r) for w in a.writes for r in b.reads):
+        kinds.add("RAW")
+    if any(boxes_overlap(r, w) for r in a.reads for w in b.writes):
+        kinds.add("WAR")
+    if any(boxes_overlap(w1, w2) for w1 in a.writes for w2 in b.writes):
+        kinds.add("WAW")
+    return kinds
+
+
+def interval_cross_stencil_dependence(
+    first: Stencil, second: Stencil, shapes: Mapping[str, Sequence[int]]
+) -> set[str]:
+    return interval_conflicts(
+        stencil_accesses(first, shapes), stencil_accesses(second, shapes)
+    )
+
+
+def interval_is_parallel_safe(
+    stencil: Stencil, shapes: Mapping[str, Sequence[int]]
+) -> bool:
+    """Intra-stencil safety under interval reasoning.
+
+    Any overlap between the write box and a *shifted* read box of the
+    output grid is treated as a loop-carried hazard (the diagonal
+    self-read exemption survives only for the exact zero-offset,
+    same-map read, which intervals can still identify).
+    """
+    acc = stencil_accesses(stencil, shapes)
+    om = stencil.output_map
+    for read in stencil.flat.reads():
+        if read.grid != stencil.output:
+            continue
+        same_map = (
+            tuple(read.scale) == tuple(om.scale)
+            and tuple(read.offset) == tuple(om.offset)
+        )
+        if same_map:
+            continue  # pure self-read: visible even to intervals
+        from .footprint import map_lattice
+        from ..core.validate import iteration_shape
+
+        it_shape = iteration_shape(stencil, shapes)
+        for rect in stencil.domain.resolve(it_shape):
+            if rect.is_empty():
+                continue
+            rbox = Access(read.grid, map_lattice(rect, read.scale, read.offset), False)
+            for w in acc.writes:
+                if boxes_overlap(w, rbox):
+                    return False
+    # WAW between union boxes, by intervals
+    for i in range(len(acc.writes)):
+        for j in range(i + 1, len(acc.writes)):
+            if boxes_overlap(acc.writes[i], acc.writes[j]):
+                return False
+    return True
+
+
+def interval_group_dependences(
+    group: StencilGroup, shapes: Mapping[str, Sequence[int]]
+) -> dict[tuple[int, int], set[str]]:
+    acc = [stencil_accesses(s, shapes) for s in group]
+    out: dict[tuple[int, int], set[str]] = {}
+    for i in range(len(group)):
+        for j in range(i + 1, len(group)):
+            kinds = interval_conflicts(acc[i], acc[j])
+            if kinds:
+                out[(i, j)] = kinds
+    return out

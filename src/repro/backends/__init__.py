@@ -1,0 +1,39 @@
+"""Micro-compiler backends and their registry.
+
+Importing this package registers the built-in micro-compilers:
+``python`` (reference interpreter), ``numpy`` (vectorized views),
+``c`` (sequential C99 JIT), ``openmp`` (task-parallel C), and
+``opencl-sim`` and ``cuda-sim`` (generated OpenCL-C / CUDA-C executed
+on the CPU device simulators).  User backends register via :func:`register_backend`.
+"""
+
+from .base import (
+    Backend,
+    CompiledKernel,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+# Registration side effects — order matters only for documentation.
+from . import python_ref as _python_ref  # noqa: F401
+from . import numpy_backend as _numpy_backend  # noqa: F401
+
+try:  # compiled backends need a working C compiler
+    from . import c_backend as _c_backend  # noqa: F401
+    from . import openmp_backend as _openmp_backend  # noqa: F401
+    from . import opencl_backend as _opencl_backend  # noqa: F401
+    from . import cuda_backend as _cuda_backend  # noqa: F401
+
+    HAVE_COMPILED_BACKENDS = True
+except Exception:  # pragma: no cover - exercised only without a toolchain
+    HAVE_COMPILED_BACKENDS = False
+
+__all__ = [
+    "Backend",
+    "CompiledKernel",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "HAVE_COMPILED_BACKENDS",
+]

@@ -1,0 +1,148 @@
+"""The narrow frontend/backend interface (paper SectionIV, Fig.5).
+
+A micro-compiler is anything implementing :class:`Backend`: it receives a
+:class:`~repro.core.stencil.StencilGroup` (whose bodies are already
+lowered to canonical flat form) plus concrete shapes, and returns a
+Python callable.  Everything platform-specific lives behind this
+interface, so *"the compiler expert is only needed when additional
+optimizations are requested or unsupported backends are needed"* — users
+register their own backends with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.stencil import StencilGroup
+from ..core.validate import check_arrays, check_group
+
+__all__ = [
+    "Backend",
+    "CompiledKernel",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class CompiledKernel:
+    """A compiled stencil group wrapped as a Python callable.
+
+    Calling convention: keyword arguments name the grids (numpy arrays,
+    mutated in place for outputs) and the scalar params.  Lazy shape
+    specialization: when built without ``shapes``, the first call binds
+    them and the specialized kernel is cached per shape tuple.
+    """
+
+    def __init__(
+        self,
+        group: StencilGroup,
+        specialize: Callable[[Mapping[str, tuple[int, ...]], np.dtype], Callable],
+        shapes: Mapping[str, Sequence[int]] | None,
+        dtype,
+    ) -> None:
+        self.group = group
+        self._specialize = specialize
+        self._cache: dict[tuple, Callable] = {}
+        self._pinned_dtype = np.dtype(dtype) if dtype is not None else None
+        if shapes is not None:
+            norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+            dt = self._pinned_dtype or np.dtype(np.float64)
+            self._get_impl(norm, dt)
+
+    def _key(self, shapes: Mapping[str, tuple[int, ...]], dtype) -> tuple:
+        return (tuple(sorted(shapes.items())), np.dtype(dtype).str)
+
+    def _get_impl(self, shapes, dtype) -> Callable:
+        key = self._key(shapes, dtype)
+        impl = self._cache.get(key)
+        if impl is None:
+            check_group(self.group, shapes)
+            impl = self._specialize(shapes, np.dtype(dtype))
+            self._cache[key] = impl
+        return impl
+
+    def __call__(self, **kwargs) -> None:
+        grids = {}
+        params = {}
+        grid_names = self.group.grids()
+        param_names = self.group.params()
+        for k, v in kwargs.items():
+            if k in grid_names:
+                grids[k] = v
+            elif k in param_names:
+                params[k] = float(v)
+            else:
+                raise TypeError(
+                    f"unexpected argument {k!r}; grids are "
+                    f"{sorted(grid_names)}, params are {sorted(param_names)}"
+                )
+        check_arrays(self.group, grids, params)
+        arrays = {g: np.asarray(a) for g, a in grids.items()}
+        dt = next(iter(arrays.values())).dtype
+        if self._pinned_dtype is not None and dt != self._pinned_dtype:
+            raise TypeError(
+                f"kernel compiled for dtype {self._pinned_dtype}, got {dt}"
+            )
+        shapes = {g: a.shape for g, a in arrays.items()}
+        impl = self._get_impl(shapes, dt)
+        impl(arrays, params)
+
+    @property
+    def specializations(self) -> int:
+        """Number of shape/dtype specializations compiled so far."""
+        return len(self._cache)
+
+
+class Backend(abc.ABC):
+    """A Snowflake micro-compiler."""
+
+    #: registry name, e.g. ``"openmp"``
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def specializer(
+        self, group: StencilGroup, **options
+    ) -> Callable[[Mapping[str, tuple[int, ...]], np.dtype], Callable]:
+        """Return a function that shape-specializes the group.
+
+        The returned function is invoked once per distinct (shapes,
+        dtype) combination and must return
+        ``impl(arrays: dict[str, ndarray], params: dict[str, float])``.
+        """
+
+    def compile(
+        self,
+        group: StencilGroup,
+        shapes: Mapping[str, Sequence[int]] | None = None,
+        dtype=None,
+        **options,
+    ) -> CompiledKernel:
+        return CompiledKernel(group, self.specializer(group, **options), shapes, dtype)
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *aliases: str) -> None:
+    """Add a micro-compiler to the registry (user-extensible, Fig.5)."""
+    for key in (backend.name, *aliases):
+        if not key:
+            raise ValueError("backend name must be non-empty")
+        _REGISTRY[key] = backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,230 @@
+"""Sequential C micro-compiler: flat form -> C99 -> gcc -> ctypes callable.
+
+The generated function has the narrow FFI signature
+
+    void sf_kernel(TYPE** grids, const double* params);
+
+with grids passed in sorted-name order and shapes/strides baked into the
+source (shape-specialized JIT).  Stencils execute in program order; an
+in-place stencil with a proven loop-carried hazard reads its output grid
+through a snapshot (gather semantics), matching the reference
+interpreter exactly.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.stencil import StencilGroup
+from .base import Backend, register_backend
+from .codegen_c import (
+    C_PREAMBLE,
+    CodegenContext,
+    StencilLoops,
+    ctype_for,
+    snapshot_decl,
+)
+from .jit import compile_and_load
+
+__all__ = [
+    "CBackend",
+    "generate_c_source",
+    "make_ffi_wrapper",
+    "fusion_chains",
+]
+
+
+def fusion_chains(
+    group: StencilGroup, shapes: Mapping[str, tuple[int, ...]]
+) -> list[list[int]]:
+    """Maximal runs of program-adjacent stencils legal to fuse.
+
+    A stencil joins the current chain when it shares the chain's domain
+    and output map, has no RAW/WAW dependence with *any* chain member
+    (transitive safety — pairwise adjacency is not enough once three
+    stencils share one loop nest), and needs no gather snapshot.
+    """
+    from ..analysis.dependence import group_dependences, is_parallel_safe
+
+    deps = group_dependences(group, shapes)
+
+    def needs_snapshot(i: int) -> bool:
+        return group[i].is_inplace() and not is_parallel_safe(
+            group[i], shapes
+        )
+
+    chains: list[list[int]] = []
+    current = [0]
+    for j in range(1, len(group)):
+        head = group[current[0]]
+        ok = (
+            group[j].domain == head.domain
+            and group[j].output_map == head.output_map
+            and not needs_snapshot(j)
+            and not needs_snapshot(current[0])
+            and all(
+                not ({"RAW", "WAW"} & deps.get((i, j), set()))
+                for i in current
+            )
+        )
+        if ok:
+            current.append(j)
+        else:
+            chains.append(current)
+            current = [j]
+    chains.append(current)
+    return chains
+
+
+def generate_c_source(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    dtype,
+    *,
+    tile: int | None = None,
+    multicolor: bool = True,
+    fuse: bool = False,
+    func_name: str = "sf_kernel",
+) -> str:
+    """Render the whole group as one C translation unit.
+
+    With ``fuse=True``, runs of adjacent stencils the analysis proves
+    independent (see :func:`fusion_chains`) share one loop nest —
+    their grids are read once per point instead of once per stencil.
+    """
+    ctx = CodegenContext(group, shapes, ctype_for(dtype))
+    norm_shapes = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
+    chains = (
+        fusion_chains(group, norm_shapes)
+        if fuse
+        else [[i] for i in range(len(group))]
+    )
+    lines: list[str] = [C_PREAMBLE]
+    lines.append(
+        f"void {func_name}({ctx.ctype}** grids, const double* params)"
+    )
+    lines.append("{")
+    for l in ctx.prologue():
+        lines.append("  " + l)
+    for chain in chains:
+        si = chain[0]
+        stencil = group[si]
+        names = ", ".join(group[i].name for i in chain)
+        lines.append(f"  /* stencil(s) {chain}: {names} */")
+        fused = [group[i] for i in chain[1:]]
+        loops = StencilLoops(
+            ctx, stencil, tile=tile, multicolor=multicolor,
+            snapshot_name=None, fused_with=fused,
+        )
+        if not fused and loops.needs_snapshot():
+            snap = f"snap_{si}"
+            loops = StencilLoops(
+                ctx, stencil, tile=tile, multicolor=multicolor,
+                snapshot_name=snap,
+            )
+            lines.append("  {")
+            for l in snapshot_decl(ctx, stencil, snap):
+                lines.append("    " + l)
+            for l in loops.emit():
+                lines.append("    " + l)
+            lines.append(f"    free({snap});")
+            lines.append("  }")
+        else:
+            for l in loops.emit():
+                lines.append("  " + l)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def make_ffi_wrapper(
+    lib: ctypes.CDLL,
+    func_name: str,
+    ctx: CodegenContext,
+) -> Callable:
+    """Wrap a compiled kernel in the Python calling convention."""
+    fn = getattr(lib, func_name)
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_void_p),
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    fn.restype = None
+    grid_order = list(ctx.grid_order)
+    param_order = list(ctx.param_order)
+    shapes = {g: tuple(ctx.shapes[g]) for g in grid_order}
+    want_dtype = np.dtype(np.float64 if ctx.ctype == "double" else np.float32)
+
+    def impl(arrays: Mapping[str, np.ndarray], params: Mapping[str, float]):
+        ptrs = (ctypes.c_void_p * len(grid_order))()
+        mats = []
+        for i, g in enumerate(grid_order):
+            a = arrays[g]
+            if a.dtype != want_dtype:
+                raise TypeError(
+                    f"grid {g!r} has dtype {a.dtype}, kernel wants {want_dtype}"
+                )
+            if tuple(a.shape) != shapes[g]:
+                raise ValueError(
+                    f"grid {g!r} has shape {a.shape}, kernel compiled "
+                    f"for {shapes[g]}"
+                )
+            if not a.flags["C_CONTIGUOUS"]:
+                raise ValueError(
+                    f"grid {g!r} must be C-contiguous for compiled backends"
+                )
+            mats.append(a)
+            ptrs[i] = a.ctypes.data
+        for i in range(len(mats)):
+            for j in range(i + 1, len(mats)):
+                if np.shares_memory(mats[i], mats[j]):
+                    raise ValueError(
+                        f"grids {grid_order[i]!r} and {grid_order[j]!r} "
+                        "alias the same memory; compiled kernels assume "
+                        "distinct (restrict) buffers"
+                    )
+        pvals = (ctypes.c_double * max(len(param_order), 1))(
+            *[float(params[p]) for p in param_order]
+        )
+        fn(ptrs, pvals)
+
+    return impl
+
+
+class CBackend(Backend):
+    """The ``c`` micro-compiler (sequential C99, SectionV-A flag set).
+
+    Options: ``tile`` (int cache-block size on the outermost loop),
+    ``multicolor`` (bool, default True: fuse checkerboard unions).
+    """
+
+    name = "c"
+    _openmp = False
+
+    def specializer(self, group: StencilGroup, **options):
+        tile = options.pop("tile", None)
+        multicolor = options.pop("multicolor", True)
+        fuse = options.pop("fuse", False)
+        if options:
+            raise TypeError(f"unknown options for {self.name!r}: {options}")
+
+        def specialize(shapes, dtype) -> Callable:
+            src = self.generate(
+                group, shapes, dtype, tile=tile, multicolor=multicolor,
+                fuse=fuse,
+            )
+            lib = compile_and_load(src, openmp=self._openmp)
+            ctx = CodegenContext(group, shapes, ctype_for(dtype))
+            return make_ffi_wrapper(lib, "sf_kernel", ctx)
+
+        return specialize
+
+    def generate(self, group, shapes, dtype, *, tile, multicolor, fuse=False) -> str:
+        """Source-generation hook (overridden by the OpenMP backend)."""
+        return generate_c_source(
+            group, shapes, dtype, tile=tile, multicolor=multicolor, fuse=fuse
+        )
+
+
+register_backend(CBackend(), "c99")

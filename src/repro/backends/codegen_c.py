@@ -1,0 +1,458 @@
+"""Shared C99 emitter for the compiled micro-compilers.
+
+Renders the canonical flat form into loop nests.  Responsibilities:
+
+* grid/param naming and row-major stride baking (shape-specialized),
+* affine index expressions ``(scale*i + off) * stride`` folded per dim,
+* gather-semantics snapshots for hazardous in-place stencils (decided by
+  the dependence analysis — safe stencils pay nothing),
+* the *multicolor reordering* optimization (paper SectionIV-A): a
+  checkerboard :class:`DomainUnion` whose boxes tile a parity class is
+  fused into a single dense nest whose innermost loop start is parity
+  corrected, replacing 2^(d-1) strided sweeps with one cache-friendly
+  sweep,
+* arbitrary-dimension tiling of the outermost free loop (used by the
+  OpenMP backend to form tasks, and by the sequential backend for cache
+  blocking).
+
+The emitter knows nothing about scheduling pragmas; backends inject
+those through small hook callables.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.dependence import is_parallel_safe
+from ..core.domains import ResolvedRect
+from ..core.flatten import FlatTerm
+from ..core.stencil import Stencil, StencilGroup
+from ..core.validate import iteration_shape
+
+__all__ = ["CodegenContext", "StencilLoops", "C_PREAMBLE", "ctype_for"]
+
+
+C_PREAMBLE = """\
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+"""
+
+
+def ctype_for(dtype) -> str:
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        return "double"
+    if dt == np.float32:
+        return "float"
+    raise TypeError(f"unsupported dtype for compiled backends: {dt}")
+
+
+def sanitize(name: str) -> str:
+    s = re.sub(r"\W", "_", name)
+    if not s or s[0].isdigit():
+        s = "_" + s
+    return s
+
+
+def _lit(value: float, ctype: str) -> str:
+    return f"(({ctype}){value!r})"
+
+
+@dataclass
+class CodegenContext:
+    """Shape/dtype-specialized naming and layout information."""
+
+    group: StencilGroup
+    shapes: Mapping[str, tuple[int, ...]]
+    ctype: str
+
+    grid_order: list[str] = field(init=False)
+    param_order: list[str] = field(init=False)
+    grid_cname: dict[str, str] = field(init=False)
+    param_cname: dict[str, str] = field(init=False)
+    strides: dict[str, tuple[int, ...]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.grid_order = sorted(self.group.grids())
+        self.param_order = sorted(self.group.params())
+        used: set[str] = set()
+        self.grid_cname = {}
+        for g in self.grid_order:
+            base = "g_" + sanitize(g)
+            c = base
+            k = 1
+            while c in used:
+                c = f"{base}_{k}"
+                k += 1
+            used.add(c)
+            self.grid_cname[g] = c
+        self.param_cname = {}
+        for p in self.param_order:
+            base = "p_" + sanitize(p)
+            c = base
+            k = 1
+            while c in used:
+                c = f"{base}_{k}"
+                k += 1
+            used.add(c)
+            self.param_cname[p] = c
+        self.strides = {}
+        for g in self.grid_order:
+            shp = tuple(int(x) for x in self.shapes[g])
+            st = [1] * len(shp)
+            for d in range(len(shp) - 2, -1, -1):
+                st[d] = st[d + 1] * shp[d + 1]
+            self.strides[g] = tuple(st)
+
+    def grid_size(self, g: str) -> int:
+        n = 1
+        for x in self.shapes[g]:
+            n *= int(x)
+        return n
+
+    def prologue(self) -> list[str]:
+        """Unpack the grids/params arrays into named locals."""
+        lines = []
+        for i, g in enumerate(self.grid_order):
+            lines.append(
+                f"{self.ctype}* restrict {self.grid_cname[g]} = grids[{i}];"
+            )
+        for i, p in enumerate(self.param_order):
+            lines.append(
+                f"const {self.ctype} {self.param_cname[p]} = "
+                f"({self.ctype})params[{i}];"
+            )
+        return lines
+
+    # -- expressions ---------------------------------------------------------
+
+    def index_expr(
+        self,
+        grid: str,
+        scale: Sequence[int],
+        offset: Sequence[int],
+        loopvars: Sequence[str],
+    ) -> str:
+        """Flat row-major index of ``grid[scale*i + offset]``."""
+        strides = self.strides[grid]
+        parts = []
+        const = 0
+        for s, o, st, v in zip(scale, offset, strides, loopvars):
+            const += o * st
+            coeff = s * st
+            if coeff == 1:
+                parts.append(v)
+            else:
+                parts.append(f"{coeff}*{v}")
+        if const != 0 or not parts:
+            parts.append(str(const))
+        return " + ".join(parts)
+
+    def term_expr(
+        self,
+        term: FlatTerm,
+        loopvars: Sequence[str],
+        source_name: Callable[[str], str],
+    ) -> str:
+        factors = [_lit(term.coeff, self.ctype)]
+        for p in term.params:
+            factors.append(self.param_cname[p])
+        expr = " * ".join(factors)
+        for p in term.denom_params:
+            expr += f" / {self.param_cname[p]}"
+        for read in term.reads:
+            idx = self.index_expr(read.grid, read.scale, read.offset, loopvars)
+            expr += f" * {source_name(read.grid)}[{idx}]"
+        return expr
+
+    def body_expr(
+        self,
+        stencil: Stencil,
+        loopvars: Sequence[str],
+        source_name: Callable[[str], str],
+    ) -> str:
+        terms = stencil.flat.terms
+        if not terms:
+            return _lit(0.0, self.ctype)
+        return "\n        + ".join(
+            self.term_expr(t, loopvars, source_name) for t in terms
+        )
+
+
+# ---------------------------------------------------------------------------
+# multicolor (parity-class) detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParityClass:
+    """A union of stride-2 boxes equal to one parity class of a dense box."""
+
+    base: tuple[int, ...]
+    high: tuple[int, ...]  # inclusive
+    parity: int
+
+
+def detect_parity_class(rects: Sequence[ResolvedRect]) -> ParityClass | None:
+    """Recognize checkerboard unions so they can be loop-fused.
+
+    Requirements: >=2 boxes, all strides exactly 2, box lows differ from
+    the per-dim minimum by 0/1, offsets enumerate every combination with
+    one fixed total parity, and each box exactly fills its residue class
+    of the common dense bounding box.
+    """
+    if len(rects) < 2:
+        return None
+    ndim = rects[0].ndim
+    for r in rects:
+        if any(st != 2 for st in r.strides):
+            return None
+    base = tuple(min(r.lows[d] for r in rects) for d in range(ndim))
+    high = tuple(max(r.highs()[d] for r in rects) for d in range(ndim))
+    offsets = set()
+    for r in rects:
+        off = tuple(r.lows[d] - base[d] for d in range(ndim))
+        if any(o not in (0, 1) for o in off):
+            return None
+        if off in offsets:
+            return None
+        offsets.add(off)
+        # exact residue fill of [base, high]
+        for d in range(ndim):
+            lo = r.lows[d]
+            want_hi = lo + 2 * ((high[d] - lo) // 2)
+            if r.highs()[d] != want_hi:
+                return None
+    parities = {sum(o) % 2 for o in offsets}
+    if len(parities) != 1:
+        return None
+    parity = parities.pop()
+    expected = {
+        off
+        for off in _binary_offsets(ndim)
+        if sum(off) % 2 == parity and all(base[d] + off[d] <= high[d] for d in range(ndim))
+    }
+    if offsets != expected:
+        return None
+    return ParityClass(base, high, parity)
+
+
+def _binary_offsets(ndim: int):
+    import itertools
+
+    return itertools.product((0, 1), repeat=ndim)
+
+
+# ---------------------------------------------------------------------------
+# loop nests
+# ---------------------------------------------------------------------------
+
+
+class StencilLoops:
+    """Emit the loop nests of one stencil (all domain boxes).
+
+    ``task_hook(depth_lines, tile_var)`` lets the OpenMP backend wrap the
+    outer tile loop body in a task pragma; ``None`` produces plain loops.
+
+    ``fused_with`` carries additional stencils sharing this stencil's
+    domain and output map whose stores are emitted in the *same* loop
+    nest — the fusion transformation the dependence analysis legalizes
+    (only snapshot-free, mutually independent stencils may be fused;
+    :func:`repro.analysis.optimize.fusion_candidates` decides).
+    """
+
+    def __init__(
+        self,
+        ctx: CodegenContext,
+        stencil: Stencil,
+        *,
+        tile: int | None = None,
+        multicolor: bool = True,
+        snapshot_name: str | None = None,
+        fused_with: Sequence[Stencil] = (),
+    ) -> None:
+        self.ctx = ctx
+        self.stencil = stencil
+        self.tile = tile
+        self.multicolor = multicolor
+        self.snapshot_name = snapshot_name
+        self.fused_with = tuple(fused_with)
+        if self.fused_with and snapshot_name is not None:
+            raise ValueError("fused clusters must be snapshot-free")
+        it_shape = iteration_shape(stencil, ctx.shapes)
+        self.rects = [
+            r for r in stencil.domain.resolve(it_shape) if not r.is_empty()
+        ]
+
+    # -- naming --------------------------------------------------------------
+
+    def source_name(self, grid: str) -> str:
+        if self.snapshot_name is not None and grid == self.stencil.output:
+            return self.snapshot_name
+        return self.ctx.grid_cname[grid]
+
+    def needs_snapshot(self) -> bool:
+        return self.stencil.is_inplace() and not is_parallel_safe(
+            self.stencil, self.ctx.shapes
+        )
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, task_pragma: str | None = None) -> list[str]:
+        """Full C lines for this stencil (without snapshot management)."""
+        lines: list[str] = []
+        pc = detect_parity_class(self.rects) if self.multicolor else None
+        if pc is not None:
+            lines += self._emit_parity_nest(pc, task_pragma)
+            return lines
+        for rect in self.rects:
+            lines += self._emit_rect_nest(rect, task_pragma)
+        return lines
+
+    def _store_stmt(self, loopvars: Sequence[str]) -> list[str]:
+        ctx = self.ctx
+        stmts = []
+        for st in (self.stencil, *self.fused_with):
+            om = st.output_map
+            out_idx = ctx.index_expr(st.output, om.scale, om.offset, loopvars)
+            if st is self.stencil:
+                body = ctx.body_expr(st, loopvars, self.source_name)
+            else:
+                # fused members are snapshot-free by construction
+                body = ctx.body_expr(
+                    st, loopvars, lambda g: ctx.grid_cname[g]
+                )
+            out = ctx.grid_cname[st.output]
+            stmts.append(f"{out}[{out_idx}] = {body};")
+        return stmts
+
+    def _emit_rect_nest(
+        self, rect: ResolvedRect, task_pragma: str | None
+    ) -> list[str]:
+        nd = rect.ndim
+        loopvars = [f"i{d}" for d in range(nd)]
+        lines: list[str] = []
+        indent = ""
+
+        def add(s: str) -> None:
+            lines.append(indent + s)
+
+        # Outermost free (count>1) dimension gets tiled when requested.
+        tile_dim = next((d for d in range(nd) if rect.counts[d] > 1), None)
+        for d in range(nd):
+            lo, st, ct = rect.lows[d], rect.strides[d], rect.counts[d]
+            step = st if st > 0 else 1
+            hi = lo + st * (ct - 1)
+            v = loopvars[d]
+            if d == tile_dim and self.tile and ct > self.tile:
+                tstep = step * self.tile
+                add(
+                    f"for (int64_t t{d} = {lo}; t{d} <= {hi}; t{d} += {tstep}) {{"
+                )
+                indent += "  "
+                if task_pragma:
+                    add(task_pragma)
+                    add("{")
+                    indent += "  "
+                add(
+                    f"const int64_t e{d} = (t{d} + {step * (self.tile - 1)} "
+                    f"< {hi}) ? t{d} + {step * (self.tile - 1)} : {hi};"
+                )
+                add(f"for (int64_t {v} = t{d}; {v} <= e{d}; {v} += {step}) {{")
+                indent += "  "
+            else:
+                if d == tile_dim and task_pragma:
+                    add(task_pragma.replace("%TILEVAR%", v))
+                    # untiled task: one task wraps the whole nest
+                    add("{")
+                    indent += "  "
+                    task_pragma = None  # consume
+                add(f"for (int64_t {v} = {lo}; {v} <= {hi}; {v} += {step}) {{")
+                indent += "  "
+        for s in self._store_stmt(loopvars):
+            add(s)
+        # close braces
+        while indent:
+            indent = indent[:-2]
+            lines.append(indent + "}")
+        return lines
+
+    def _emit_parity_nest(
+        self, pc: ParityClass, task_pragma: str | None
+    ) -> list[str]:
+        """Fused multicolor nest: dense leading loops, parity-corrected
+        stride-2 innermost loop (the paper's multicolor reordering)."""
+        nd = len(pc.base)
+        loopvars = [f"i{d}" for d in range(nd)]
+        lines: list[str] = []
+        indent = ""
+
+        def add(s: str) -> None:
+            lines.append(indent + s)
+
+        # leading dims: dense
+        for d in range(nd - 1):
+            v = loopvars[d]
+            if d == 0 and self.tile and (pc.high[0] - pc.base[0] + 1) > self.tile:
+                add(
+                    f"for (int64_t t0 = {pc.base[0]}; t0 <= {pc.high[0]}; "
+                    f"t0 += {self.tile}) {{"
+                )
+                indent += "  "
+                if task_pragma:
+                    add(task_pragma)
+                    add("{")
+                    indent += "  "
+                add(
+                    f"const int64_t e0 = (t0 + {self.tile - 1} < {pc.high[0]})"
+                    f" ? t0 + {self.tile - 1} : {pc.high[0]};"
+                )
+                add(f"for (int64_t {v} = t0; {v} <= e0; ++{v}) {{")
+                indent += "  "
+            else:
+                if d == 0 and task_pragma:
+                    add(task_pragma)
+                    add("{")
+                    indent += "  "
+                add(
+                    f"for (int64_t {v} = {pc.base[d]}; {v} <= {pc.high[d]}; "
+                    f"++{v}) {{"
+                )
+                indent += "  "
+        # innermost: stride 2 with parity-corrected start
+        last = nd - 1
+        off_sum = " + ".join(
+            f"({loopvars[d]} - {pc.base[d]})" for d in range(nd - 1)
+        ) or "0"
+        add(
+            f"const int64_t s{last} = {pc.base[last]} + "
+            f"((({pc.parity} - ({off_sum})) % 2 + 2) % 2);"
+        )
+        add(
+            f"for (int64_t {loopvars[last]} = s{last}; "
+            f"{loopvars[last]} <= {pc.high[last]}; {loopvars[last]} += 2) {{"
+        )
+        indent += "  "
+        for s in self._store_stmt(loopvars):
+            add(s)
+        while indent:
+            indent = indent[:-2]
+            lines.append(indent + "}")
+        return lines
+
+
+def snapshot_decl(ctx: CodegenContext, stencil: Stencil, name: str) -> list[str]:
+    """Allocate + fill a gather-semantics snapshot of the output grid."""
+    g = stencil.output
+    n = ctx.grid_size(g)
+    src = ctx.grid_cname[g]
+    return [
+        f"{ctx.ctype}* {name} = ({ctx.ctype}*)malloc({n} * sizeof({ctx.ctype}));",
+        f"memcpy({name}, {src}, {n} * sizeof({ctx.ctype}));",
+    ]

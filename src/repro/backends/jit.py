@@ -1,0 +1,98 @@
+"""JIT machinery: compile generated C to a shared object and load it.
+
+The paper's micro-compilers render the stencil AST into a performance
+language, hand it to a system compiler, and wrap the binary in a Python
+callable via the built-in FFI, caching callables for subsequent use
+(SectionIV).  This module implements exactly that pipeline with gcc +
+:mod:`ctypes`:
+
+* source is hashed (sha256) — the hash keys both an in-process cache and
+  an on-disk cache directory, so identical stencils never recompile,
+  even across interpreter sessions;
+* compiler and flags mirror SectionV-A (``-std=c99 -O3 -fgcse -fPIC``),
+  with ``-fopenmp`` / ``-lm`` added per backend request.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+__all__ = ["CompileError", "compile_and_load", "cache_dir", "clear_disk_cache"]
+
+
+class CompileError(RuntimeError):
+    """gcc rejected generated source — always a codegen bug; the message
+    carries the compiler output and a path to the offending source."""
+
+
+_DEFAULT_FLAGS = ("-std=c99", "-O3", "-fgcse", "-fPIC", "-shared")
+
+_lock = threading.Lock()
+_loaded: dict[str, ctypes.CDLL] = {}
+
+
+def cache_dir() -> Path:
+    """On-disk cache location (override with ``SNOWFLAKE_CACHE_DIR``)."""
+    root = os.environ.get("SNOWFLAKE_CACHE_DIR")
+    if root:
+        p = Path(root)
+    else:
+        p = Path(tempfile.gettempdir()) / "snowflake-jit-cache"
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def clear_disk_cache() -> int:
+    """Delete cached artifacts; returns the number of files removed."""
+    n = 0
+    for f in cache_dir().glob("sf_*"):
+        f.unlink(missing_ok=True)
+        n += 1
+    return n
+
+
+def _cc() -> str:
+    return os.environ.get("SNOWFLAKE_CC", "gcc")
+
+
+def compile_and_load(
+    source: str,
+    *,
+    openmp: bool = False,
+    extra_flags: tuple[str, ...] = (),
+) -> ctypes.CDLL:
+    """Compile C ``source`` to a shared object and dlopen it (cached)."""
+    tag = hashlib.sha256(
+        source.encode() + repr((openmp, extra_flags, _cc())).encode()
+    ).hexdigest()[:24]
+    with _lock:
+        lib = _loaded.get(tag)
+        if lib is not None:
+            return lib
+        d = cache_dir()
+        so_path = d / f"sf_{tag}.so"
+        if not so_path.exists():
+            c_path = d / f"sf_{tag}.c"
+            c_path.write_text(source)
+            cmd = [_cc(), *_DEFAULT_FLAGS]
+            if openmp:
+                cmd.append("-fopenmp")
+            cmd += list(extra_flags)
+            tmp_so = d / f"sf_{tag}.{os.getpid()}.tmp.so"
+            cmd += [str(c_path), "-o", str(tmp_so), "-lm"]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                raise CompileError(
+                    f"compiler failed ({' '.join(cmd)}):\n{proc.stderr}\n"
+                    f"source kept at {c_path}"
+                )
+            os.replace(tmp_so, so_path)  # atomic publish for concurrent procs
+        lib = ctypes.CDLL(str(so_path))
+        _loaded[tag] = lib
+        return lib

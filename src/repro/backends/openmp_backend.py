@@ -1,0 +1,168 @@
+"""C + OpenMP micro-compiler (paper SectionIV-A).
+
+Scheduling follows the paper's design literally:
+
+* each stencil becomes an **OpenMP task**, with larger stencils split
+  into sub-tasks by tiling the outermost free loop;
+* the dependence analysis groups stencils into **phases** using the
+  greedy policy — a barrier (``taskwait``) is inserted only when an
+  upcoming stencil consumes what an in-flight one produced;
+* **multicolor reordering** and arbitrary-dimension **tiling** are
+  available as compile options (both on by default / tunable), and the
+  tile size is an explicit knob so it can be autotuned
+  (:mod:`repro.tuning.autotune`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..analysis.dag import plan
+from ..core.stencil import StencilGroup
+from .base import register_backend
+from .c_backend import CBackend
+from .codegen_c import (
+    C_PREAMBLE,
+    CodegenContext,
+    StencilLoops,
+    ctype_for,
+    snapshot_decl,
+)
+
+__all__ = ["OpenMPBackend", "generate_openmp_source"]
+
+
+def generate_openmp_source(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    dtype,
+    *,
+    tile: int | None = 8,
+    multicolor: bool = True,
+    schedule: str = "greedy",
+    fuse: bool = False,
+    func_name: str = "sf_kernel",
+) -> str:
+    """Render the group as a task-parallel OpenMP translation unit.
+
+    With ``fuse=True``, fusion chains (independent adjacent stencils
+    sharing a domain) are emitted as a single task-tiled nest; chains
+    never straddle a barrier because greedy phases break exactly at
+    dependences, and chain members are dependence-free by construction.
+    """
+    from .c_backend import fusion_chains
+
+    ctx = CodegenContext(group, shapes, ctype_for(dtype))
+    exec_plan = plan(group, shapes, policy=schedule)
+    norm_shapes = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
+    chains = (
+        fusion_chains(group, norm_shapes)
+        if fuse
+        else [[i] for i in range(len(group))]
+    )
+    chain_of_head = {c[0]: c for c in chains}
+    non_heads = {i for c in chains for i in c[1:]}
+
+    lines: list[str] = [C_PREAMBLE, "#include <omp.h>"]
+    lines.append(
+        f"void {func_name}({ctx.ctype}** grids, const double* params)"
+    )
+    lines.append("{")
+    for l in ctx.prologue():
+        lines.append("  " + l)
+
+    # Pre-plan snapshots so allocation happens once, outside the region.
+    snap_names: dict[int, str] = {}
+    loops_for: dict[int, StencilLoops] = {}
+    for si, stencil in enumerate(group):
+        if si in non_heads:
+            continue  # emitted inside its chain head's nest
+        fused = [group[i] for i in chain_of_head.get(si, [si])[1:]]
+        loops = StencilLoops(
+            ctx, stencil, tile=tile, multicolor=multicolor, fused_with=fused
+        )
+        if not fused and loops.needs_snapshot():
+            snap = f"snap_{si}"
+            snap_names[si] = snap
+            loops = StencilLoops(
+                ctx, stencil, tile=tile, multicolor=multicolor,
+                snapshot_name=snap,
+            )
+        loops_for[si] = loops
+    for si, snap in snap_names.items():
+        g = group[si].output
+        n = ctx.grid_size(g)
+        lines.append(
+            f"  {ctx.ctype}* {snap} = ({ctx.ctype}*)malloc("
+            f"{n} * sizeof({ctx.ctype}));"
+        )
+
+    lines.append("  #pragma omp parallel")
+    lines.append("  #pragma omp single")
+    lines.append("  {")
+    for pi, phase in enumerate(exec_plan.phases):
+        lines.append(f"    /* phase {pi} */")
+        # Fill snapshots serially before spawning the phase's tasks.
+        for si in phase:
+            snap = snap_names.get(si)
+            if snap is not None:
+                g = group[si].output
+                n = ctx.grid_size(g)
+                src = ctx.grid_cname[g]
+                lines.append(
+                    f"    memcpy({snap}, {src}, {n} * sizeof({ctx.ctype}));"
+                )
+        for si in phase:
+            if si in non_heads:
+                continue
+            stencil = group[si]
+            lines.append(f"    /* stencil {si}: {stencil.name} */")
+            # Unsafe in-place stencils were given a snapshot above, which
+            # restores gather semantics — so every stencil may be tiled
+            # into concurrent tasks.
+            for l in loops_for[si].emit(task_pragma="#pragma omp task"):
+                lines.append("    " + l)
+        lines.append("    #pragma omp taskwait")
+    lines.append("  }")
+    for snap in snap_names.values():
+        lines.append(f"  free({snap});")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+class OpenMPBackend(CBackend):
+    """The ``openmp`` micro-compiler.
+
+    Options: ``tile`` (task granularity on the outermost loop, default
+    8 planes), ``multicolor`` (default True), ``schedule`` — one of
+    ``greedy`` (the paper's policy), ``wavefront``, ``serial``.
+    """
+
+    name = "openmp"
+    _openmp = True
+
+    def specializer(self, group: StencilGroup, **options):
+        tile = options.pop("tile", 8)
+        multicolor = options.pop("multicolor", True)
+        schedule = options.pop("schedule", "greedy")
+        fuse = options.pop("fuse", False)
+        if options:
+            raise TypeError(f"unknown options for {self.name!r}: {options}")
+
+        def specialize(shapes, dtype):
+            from .c_backend import make_ffi_wrapper
+            from .jit import compile_and_load
+
+            src = generate_openmp_source(
+                group, shapes, dtype,
+                tile=tile, multicolor=multicolor, schedule=schedule,
+                fuse=fuse,
+            )
+            lib = compile_and_load(src, openmp=True)
+            ctx = CodegenContext(group, shapes, ctype_for(dtype))
+            return make_ffi_wrapper(lib, "sf_kernel", ctx)
+
+        return specialize
+
+
+register_backend(OpenMPBackend(), "omp")

@@ -1,0 +1,82 @@
+"""Pure-Python reference interpreter — the correctness oracle.
+
+Executes the canonical flat form point by point with *gather* semantics:
+every read observes the grid state as it was when the stencil application
+began (an in-place stencil reads its output grid through a snapshot).
+All other backends must agree bit-for-bit with this interpreter on
+hazard-free stencils and up to gather semantics on hazardous ones; the
+equivalence suite in ``tests/backends`` enforces that.
+
+Deliberately unoptimized — small grids only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.stencil import Stencil, StencilGroup
+from ..core.validate import iteration_shape
+from .base import Backend, register_backend
+
+__all__ = ["PythonBackend"]
+
+
+def _apply_stencil(
+    stencil: Stencil,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, float],
+    shapes: Mapping[str, tuple[int, ...]],
+) -> None:
+    out = arrays[stencil.output]
+    snapshot = out.copy() if stencil.is_inplace() else None
+
+    def source(grid: str) -> np.ndarray:
+        if snapshot is not None and grid == stencil.output:
+            return snapshot
+        return arrays[grid]
+
+    om = stencil.output_map
+    it_shape = iteration_shape(stencil, shapes)
+    for rect in stencil.domain.resolve(it_shape):
+        if rect.is_empty():
+            continue
+        for point in rect.points():
+            val = 0.0
+            for term in stencil.flat.terms:
+                v = term.coeff
+                for p in term.params:
+                    v *= params[p]
+                for p in term.denom_params:
+                    v /= params[p]
+                for read in term.reads:
+                    idx = tuple(
+                        s * i + o
+                        for s, i, o in zip(read.scale, point, read.offset)
+                    )
+                    v *= source(read.grid)[idx]
+                val += v
+            out[om.apply(point)] = val
+
+
+class PythonBackend(Backend):
+    """The ``python`` micro-compiler: no codegen, direct interpretation."""
+
+    name = "python"
+
+    def specializer(self, group: StencilGroup, **options):
+        if options:
+            raise TypeError(f"python backend takes no options, got {options}")
+
+        def specialize(shapes, dtype) -> Callable:
+            def impl(arrays, params):
+                for stencil in group:
+                    _apply_stencil(stencil, arrays, params, shapes)
+
+            return impl
+
+        return specialize
+
+
+register_backend(PythonBackend(), "ref")

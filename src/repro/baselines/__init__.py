@@ -1,0 +1,6 @@
+"""Hand-optimized comparators (the paper's HPGMG/HPGMG-CUDA role)."""
+
+from .kernels_c import BASELINE_C_SOURCE, BaselineKernels3D
+from .mg_c import BaselineMultigrid3D
+
+__all__ = ["BASELINE_C_SOURCE", "BaselineKernels3D", "BaselineMultigrid3D"]

@@ -1,0 +1,279 @@
+"""Hand-optimized C kernels — the "HPGMG" comparator (DESIGN.md S18).
+
+These kernels share *no* code with the DSL code generators: they are
+written the way a performance engineer writes them (fused multicolor
+sweeps with parity-corrected inner loops, hoisted plane pointers,
+``restrict`` qualifiers, runtime sizes so one binary serves every level)
+and play the role the hand-optimized HPGMG reference plays in the
+paper's Figures7-9.
+
+All kernels are 3-D double precision on ``(n+2)^3`` arrays with one
+ghost cell per side, matching :class:`repro.hpgmg.level.Level`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from ..backends.jit import compile_and_load
+
+__all__ = ["BaselineKernels3D", "BASELINE_C_SOURCE"]
+
+BASELINE_C_SOURCE = r"""
+#include <stdint.h>
+
+#define IDX(i, j, k, s) ((i)*(s)*(s) + (j)*(s) + (k))
+
+/* Homogeneous Dirichlet ghost faces: ghost = -inner. */
+void bl_bc3(double* restrict x, int64_t n)
+{
+    const int64_t s = n + 2;
+    for (int64_t j = 1; j <= n; j++)
+        for (int64_t k = 1; k <= n; k++) {
+            x[IDX(0, j, k, s)]     = -x[IDX(1, j, k, s)];
+            x[IDX(n + 1, j, k, s)] = -x[IDX(n, j, k, s)];
+        }
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t k = 1; k <= n; k++) {
+            x[IDX(i, 0, k, s)]     = -x[IDX(i, 1, k, s)];
+            x[IDX(i, n + 1, k, s)] = -x[IDX(i, n, k, s)];
+        }
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t j = 1; j <= n; j++) {
+            x[IDX(i, j, 0, s)]     = -x[IDX(i, j, 1, s)];
+            x[IDX(i, j, n + 1, s)] = -x[IDX(i, j, n, s)];
+        }
+}
+
+/* Constant-coefficient 7-point Laplacian: out = (6x - neighbours)/h^2. */
+void bl_cc7pt(double* restrict out, const double* restrict x,
+              int64_t n, double invh2)
+{
+    const int64_t s = n + 2, p = s * s;
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t j = 1; j <= n; j++) {
+            const double* row = x + IDX(i, j, 0, s);
+            double* orow = out + IDX(i, j, 0, s);
+            for (int64_t k = 1; k <= n; k++) {
+                orow[k] = invh2 * (6.0 * row[k]
+                    - row[k - 1] - row[k + 1]
+                    - row[k - s] - row[k + s]
+                    - row[k - p] - row[k + p]);
+            }
+        }
+}
+
+/* Weighted Jacobi, constant coefficients: out = x + w*lam*(rhs - A x). */
+void bl_jacobi_cc(double* restrict out, const double* restrict x,
+                  const double* restrict rhs, int64_t n,
+                  double invh2, double wlam)
+{
+    const int64_t s = n + 2, p = s * s;
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t j = 1; j <= n; j++) {
+            const double* row = x + IDX(i, j, 0, s);
+            const double* brow = rhs + IDX(i, j, 0, s);
+            double* orow = out + IDX(i, j, 0, s);
+            for (int64_t k = 1; k <= n; k++) {
+                const double Ax = invh2 * (6.0 * row[k]
+                    - row[k - 1] - row[k + 1]
+                    - row[k - s] - row[k + s]
+                    - row[k - p] - row[k + p]);
+                orow[k] = row[k] + wlam * (brow[k] - Ax);
+            }
+        }
+}
+
+/* Variable-coefficient GSRB half-sweep over one color (0=red, 1=black):
+   x += lam * (rhs - A x) with A x = (1/h^2) * sum_d flux differences.
+   Fused multicolor sweep: dense i/j loops, parity-corrected k start. */
+void bl_gsrb_vc(double* restrict x, const double* restrict rhs,
+                const double* restrict bx, const double* restrict by,
+                const double* restrict bz, const double* restrict lam,
+                int64_t n, double invh2, int color)
+{
+    const int64_t s = n + 2, p = s * s;
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t j = 1; j <= n; j++) {
+            const int64_t base = IDX(i, j, 0, s);
+            const double* row  = x + base;
+            const double* brow = rhs + base;
+            const double* lrow = lam + base;
+            const double* bxr  = bx + base;   /* low-face beta in i */
+            const double* byr  = by + base;   /* low-face beta in j */
+            const double* bzr  = bz + base;   /* low-face beta in k */
+            double* xw = x + base;
+            /* color 0 (red) owns (1,1,1): k parity = (i + j + color) & 1 */
+            const int64_t k0 = 1 + (int64_t)((i + j + color) & 1);
+            for (int64_t k = k0; k <= n; k += 2) {
+                const double Ax = invh2 * (
+                      bxr[k]     * (row[k] - row[k - p])
+                    + bxr[k + p] * (row[k] - row[k + p])
+                    + byr[k]     * (row[k] - row[k - s])
+                    + byr[k + s] * (row[k] - row[k + s])
+                    + bzr[k]     * (row[k] - row[k - 1])
+                    + bzr[k + 1] * (row[k] - row[k + 1]));
+                xw[k] = row[k] + lrow[k] * (brow[k] - Ax);
+            }
+        }
+}
+
+/* Variable-coefficient residual: res = rhs - A x. */
+void bl_residual_vc(double* restrict res, const double* restrict x,
+                    const double* restrict rhs,
+                    const double* restrict bx, const double* restrict by,
+                    const double* restrict bz, int64_t n, double invh2)
+{
+    const int64_t s = n + 2, p = s * s;
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t j = 1; j <= n; j++) {
+            const int64_t base = IDX(i, j, 0, s);
+            const double* row  = x + base;
+            const double* brow = rhs + base;
+            const double* bxr  = bx + base;
+            const double* byr  = by + base;
+            const double* bzr  = bz + base;
+            double* rrow = res + base;
+            for (int64_t k = 1; k <= n; k++) {
+                const double Ax = invh2 * (
+                      bxr[k]     * (row[k] - row[k - p])
+                    + bxr[k + p] * (row[k] - row[k + p])
+                    + byr[k]     * (row[k] - row[k - s])
+                    + byr[k + s] * (row[k] - row[k + s])
+                    + bzr[k]     * (row[k] - row[k - 1])
+                    + bzr[k + 1] * (row[k] - row[k + 1]));
+                rrow[k] = brow[k] - Ax;
+            }
+        }
+}
+
+/* Constant-coefficient residual: res = rhs - A x. */
+void bl_residual_cc(double* restrict res, const double* restrict x,
+                    const double* restrict rhs, int64_t n, double invh2)
+{
+    const int64_t s = n + 2, p = s * s;
+    for (int64_t i = 1; i <= n; i++)
+        for (int64_t j = 1; j <= n; j++) {
+            const double* row  = x + IDX(i, j, 0, s);
+            const double* brow = rhs + IDX(i, j, 0, s);
+            double* rrow = res + IDX(i, j, 0, s);
+            for (int64_t k = 1; k <= n; k++) {
+                const double Ax = invh2 * (6.0 * row[k]
+                    - row[k - 1] - row[k + 1]
+                    - row[k - s] - row[k + s]
+                    - row[k - p] - row[k + p]);
+                rrow[k] = brow[k] - Ax;
+            }
+        }
+}
+
+/* Full-weighting restriction: coarse (nc interior) from fine (2nc). */
+void bl_restrict3(double* restrict coarse, const double* restrict fine,
+                  int64_t nc)
+{
+    const int64_t sc = nc + 2;
+    const int64_t sf = 2 * nc + 2, pf = sf * sf;
+    for (int64_t i = 1; i <= nc; i++)
+        for (int64_t j = 1; j <= nc; j++)
+            for (int64_t k = 1; k <= nc; k++) {
+                const int64_t f = IDX(2 * i - 1, 2 * j - 1, 2 * k - 1, sf);
+                coarse[IDX(i, j, k, sc)] = 0.125 * (
+                      fine[f]          + fine[f + 1]
+                    + fine[f + sf]     + fine[f + sf + 1]
+                    + fine[f + pf]     + fine[f + pf + 1]
+                    + fine[f + pf + sf]+ fine[f + pf + sf + 1]);
+            }
+}
+
+/* Piecewise-constant interpolation with correction add:
+   xf[children of i] += xc[i]. */
+void bl_interp_pc3(double* restrict xf, const double* restrict xc,
+                   int64_t nc)
+{
+    const int64_t sc = nc + 2;
+    const int64_t sf = 2 * nc + 2, pf = sf * sf;
+    for (int64_t i = 1; i <= nc; i++)
+        for (int64_t j = 1; j <= nc; j++)
+            for (int64_t k = 1; k <= nc; k++) {
+                const double c = xc[IDX(i, j, k, sc)];
+                const int64_t f = IDX(2 * i - 1, 2 * j - 1, 2 * k - 1, sf);
+                xf[f] += c;            xf[f + 1] += c;
+                xf[f + sf] += c;       xf[f + sf + 1] += c;
+                xf[f + pf] += c;       xf[f + pf + 1] += c;
+                xf[f + pf + sf] += c;  xf[f + pf + sf + 1] += c;
+            }
+}
+"""
+
+
+def _sig(fn, *argtypes):
+    fn.argtypes = list(argtypes)
+    fn.restype = None
+    return fn
+
+
+_D = ctypes.POINTER(ctypes.c_double)
+
+
+def _ptr(a: np.ndarray):
+    if a.dtype != np.float64 or not a.flags["C_CONTIGUOUS"]:
+        raise TypeError("baseline kernels need contiguous float64 arrays")
+    return a.ctypes.data_as(_D)
+
+
+class BaselineKernels3D:
+    """ctypes facade over the hand-written kernels (any level size).
+
+    One compilation serves every grid size — sizes are runtime arguments,
+    the way a hand-maintained benchmark is built.
+    """
+
+    def __init__(self, openmp: bool = False) -> None:
+        self._lib = compile_and_load(BASELINE_C_SOURCE, openmp=openmp)
+        L = self._lib
+        i64, d = ctypes.c_int64, ctypes.c_double
+        self._bc = _sig(L.bl_bc3, _D, i64)
+        self._cc7 = _sig(L.bl_cc7pt, _D, _D, i64, d)
+        self._jac = _sig(L.bl_jacobi_cc, _D, _D, _D, i64, d, d)
+        self._gsrb = _sig(
+            L.bl_gsrb_vc, _D, _D, _D, _D, _D, _D, i64, d, ctypes.c_int
+        )
+        self._res_vc = _sig(L.bl_residual_vc, _D, _D, _D, _D, _D, _D, i64, d)
+        self._res_cc = _sig(L.bl_residual_cc, _D, _D, _D, i64, d)
+        self._restr = _sig(L.bl_restrict3, _D, _D, i64)
+        self._interp = _sig(L.bl_interp_pc3, _D, _D, i64)
+
+    # -- wrappers (all take numpy (n+2)^3 arrays) -----------------------------
+
+    def bc(self, x: np.ndarray, n: int) -> None:
+        self._bc(_ptr(x), n)
+
+    def cc7pt(self, out: np.ndarray, x: np.ndarray, n: int, invh2: float) -> None:
+        self._cc7(_ptr(out), _ptr(x), n, invh2)
+
+    def jacobi_cc(
+        self, out, x, rhs, n: int, invh2: float, wlam: float
+    ) -> None:
+        self._jac(_ptr(out), _ptr(x), _ptr(rhs), n, invh2, wlam)
+
+    def gsrb_vc(
+        self, x, rhs, bx, by, bz, lam, n: int, invh2: float, color: int
+    ) -> None:
+        self._gsrb(
+            _ptr(x), _ptr(rhs), _ptr(bx), _ptr(by), _ptr(bz), _ptr(lam),
+            n, invh2, color,
+        )
+
+    def residual_vc(self, res, x, rhs, bx, by, bz, n: int, invh2: float) -> None:
+        self._res_vc(_ptr(res), _ptr(x), _ptr(rhs), _ptr(bx), _ptr(by), _ptr(bz), n, invh2)
+
+    def residual_cc(self, res, x, rhs, n: int, invh2: float) -> None:
+        self._res_cc(_ptr(res), _ptr(x), _ptr(rhs), n, invh2)
+
+    def restrict(self, coarse, fine, nc: int) -> None:
+        self._restr(_ptr(coarse), _ptr(fine), nc)
+
+    def interp_pc(self, xf, xc, nc: int) -> None:
+        self._interp(_ptr(xf), _ptr(xc), nc)

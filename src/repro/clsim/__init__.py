@@ -1,0 +1,18 @@
+"""clsim — a CPU simulator for the generated OpenCL kernels.
+
+The environment has no OpenCL runtime or GPU (DESIGN.md, substitutions
+table), so this package stands in for one: the *verbatim* kernel text
+produced by :mod:`repro.backends.opencl_backend` is compiled as C99
+behind a thin shim header (``__kernel``/``__global`` become no-ops and
+``get_global_id`` reads a sweep variable), and per-kernel driver
+functions sweep the NDRange like an in-order command queue would.
+
+Because the kernel source is compiled unmodified, the backend
+equivalence tests exercise the actual OpenCL codegen, not a lookalike.
+"""
+
+from .driver import build_executor
+from .translate import shim_header, translation_unit
+from . import runtime
+
+__all__ = ["build_executor", "shim_header", "translation_unit", "runtime"]

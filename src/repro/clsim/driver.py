@@ -1,0 +1,96 @@
+"""Host-side execution of an :class:`OpenCLProgram` on the simulator.
+
+Plays the role of the OpenCL host API: builds the program (via the gcc
+JIT), allocates device buffers (numpy arrays shared with the caller —
+a zero-copy "device"), and replays the host plan ops in order, exactly
+like an in-order command queue: buffer copies, kernel launches, queue
+barriers.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..backends.jit import compile_and_load
+from ..backends.opencl_backend import (
+    Barrier,
+    CopyBuffer,
+    KernelLaunch,
+    OpenCLProgram,
+)
+from ..backends.codegen_c import ctype_for
+from ..core.stencil import StencilGroup
+from .translate import translation_unit
+
+__all__ = ["build_executor"]
+
+
+def build_executor(
+    program: OpenCLProgram,
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    dtype,
+) -> Callable:
+    ctype = ctype_for(dtype)
+    npdtype = np.dtype(dtype)
+    src = translation_unit(program, ctype)
+    lib = compile_and_load(src)
+
+    drivers: dict[str, ctypes._CFuncPtr] = {}
+    for kname in program.kernel_ranges:
+        fn = getattr(lib, f"drive_{kname}")
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_void_p),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_size_t),
+        ]
+        fn.restype = None
+        drivers[kname] = fn
+
+    grid_names = [b for b in program.buffer_order if b not in program.snap_of]
+    snap_names = [b for b in program.buffer_order if b in program.snap_of]
+    # Persistent "device-side" scratch for snapshot buffers.
+    snap_arrays = {
+        s: np.empty(shapes[program.snap_of[s]], dtype=npdtype)
+        for s in snap_names
+    }
+    buf_index = {b: i for i, b in enumerate(program.buffer_order)}
+    gshapes = {g: tuple(int(x) for x in shapes[g]) for g in grid_names}
+
+    def impl(arrays: Mapping[str, np.ndarray], params: Mapping[str, float]):
+        ptrs = (ctypes.c_void_p * len(program.buffer_order))()
+        for g in grid_names:
+            a = arrays[g]
+            if a.dtype != npdtype:
+                raise TypeError(
+                    f"grid {g!r} has dtype {a.dtype}, program built for {npdtype}"
+                )
+            if tuple(a.shape) != gshapes[g]:
+                raise ValueError(
+                    f"grid {g!r} has shape {a.shape}, program built for {gshapes[g]}"
+                )
+            if not a.flags["C_CONTIGUOUS"]:
+                raise ValueError(f"grid {g!r} must be C-contiguous")
+            ptrs[buf_index[g]] = a.ctypes.data
+        for s in snap_names:
+            ptrs[buf_index[s]] = snap_arrays[s].ctypes.data
+        pvals = (ctypes.c_double * max(len(program.param_order), 1))(
+            *[float(params[p]) for p in program.param_order]
+        )
+        for op in program.ops:
+            if isinstance(op, CopyBuffer):
+                np.copyto(snap_arrays[op.snap], arrays[op.grid])
+            elif isinstance(op, KernelLaunch):
+                gsize = (ctypes.c_size_t * 3)(1, 1, 1)
+                for d, n in enumerate(op.global_size):
+                    gsize[d] = n
+                drivers[op.kernel](ptrs, pvals, gsize)
+            elif isinstance(op, Barrier):
+                pass  # in-order serial queue: barriers are implicit
+            else:  # pragma: no cover - plan is produced by our own codegen
+                raise TypeError(f"unknown host op {op!r}")
+
+    return impl

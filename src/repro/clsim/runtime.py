@@ -1,0 +1,271 @@
+"""A pyopencl-shaped host API over the CPU device simulator.
+
+The paper's OpenCL backend drives a real OpenCL 1.2 runtime; this
+module completes the simulated substrate with the host-side object
+model — platforms, devices, contexts, in-order command queues, buffers,
+programs, kernels — so code written against the (subset of the)
+pyopencl surface runs unchanged on the simulator:
+
+    plats = get_platforms()
+    ctx = Context(plats[0].get_devices())
+    q = CommandQueue(ctx)
+    prog = Program(ctx, kernel_source).build()
+    buf = Buffer(ctx, size_bytes)
+    enqueue_copy(q, buf, host_array)
+    prog.my_kernel(q, global_size, None, buf, other_buf, np.float64(0.5))
+    enqueue_copy(q, host_array, buf)
+
+Only what the micro-compiler needs is implemented; everything else
+raises loudly.  Kernels execute through the same gcc-compiled shim as
+:mod:`repro.clsim.driver`, so the verbatim kernel text runs here too.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backends.jit import compile_and_load
+from .translate import shim_header
+
+__all__ = [
+    "Platform",
+    "Device",
+    "Context",
+    "CommandQueue",
+    "Buffer",
+    "Program",
+    "Kernel",
+    "RuntimeError_",
+    "get_platforms",
+    "enqueue_copy",
+]
+
+
+class RuntimeError_(RuntimeError):
+    """CL_* style error from the simulated runtime."""
+
+
+@dataclass(frozen=True)
+class Device:
+    name: str = "Snowflake CPU Simulator"
+    type: str = "CPU"
+    global_mem_size: int = 1 << 34
+    max_work_group_size: int = 1 << 20
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Device {self.name!r}>"
+
+
+@dataclass(frozen=True)
+class Platform:
+    name: str = "Snowflake clsim"
+    vendor: str = "repro"
+    version: str = "OpenCL 1.2 (simulated)"
+
+    def get_devices(self) -> list[Device]:
+        return [Device()]
+
+
+def get_platforms() -> list[Platform]:
+    return [Platform()]
+
+
+class Context:
+    """Owns buffers and built programs."""
+
+    def __init__(self, devices: list[Device] | None = None) -> None:
+        self.devices = [Device()] if devices is None else list(devices)
+        if not self.devices:
+            raise RuntimeError_("CL_INVALID_DEVICE: empty device list")
+
+
+class Buffer:
+    """Device memory — host-allocated bytes the kernels address directly."""
+
+    def __init__(self, context: Context, size: int, hostbuf: np.ndarray | None = None) -> None:
+        if size <= 0 and hostbuf is None:
+            raise RuntimeError_("CL_INVALID_BUFFER_SIZE")
+        if hostbuf is not None:
+            self._mem = np.array(hostbuf, copy=True).view(np.uint8).reshape(-1)
+            size = self._mem.nbytes
+        else:
+            self._mem = np.zeros(size, dtype=np.uint8)
+        self.size = size
+        self.context = context
+
+    @property
+    def ptr(self) -> int:
+        return self._mem.ctypes.data
+
+    def read_as(self, dtype, shape) -> np.ndarray:
+        return self._mem.view(np.dtype(dtype)).reshape(shape).copy()
+
+
+class CommandQueue:
+    """In-order queue: every operation completes before the next starts,
+    so ``finish`` is trivially a no-op (kept for API parity)."""
+
+    def __init__(self, context: Context) -> None:
+        self.context = context
+
+    def finish(self) -> None:
+        return None
+
+
+_KERNEL_RE = re.compile(r"__kernel\s+void\s+(\w+)\s*\(([^)]*)\)", re.S)
+
+
+class Program:
+    """Compile OpenCL-C source (via the C99 shim) and expose kernels."""
+
+    def __init__(self, context: Context, source: str) -> None:
+        self.context = context
+        self.source = source
+        self._lib = None
+        self._kernels: dict[str, "Kernel"] = {}
+
+    def build(self, options: str = "") -> "Program":
+        decls = _KERNEL_RE.findall(self.source)
+        if not decls:
+            raise RuntimeError_("CL_BUILD_PROGRAM_FAILURE: no kernels found")
+        unit = [shim_header(), self.source, ""]
+        for name, args in decls:
+            unit.append(_emit_dispatcher(name, args))
+        self._lib = compile_and_load("\n".join(unit))
+        for name, args in decls:
+            self._kernels[name] = Kernel(self, name, _parse_args(args))
+        return self
+
+    def __getattr__(self, name: str) -> "Kernel":
+        if self._lib is None:
+            raise RuntimeError_("CL_INVALID_PROGRAM_EXECUTABLE: call build()")
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    @property
+    def kernel_names(self) -> list[str]:
+        return sorted(self._kernels)
+
+
+@dataclass(frozen=True)
+class _ArgSpec:
+    is_buffer: bool
+    ctype: str
+
+
+def _parse_args(arglist: str) -> list[_ArgSpec]:
+    specs = []
+    for raw in arglist.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        is_buf = "*" in raw
+        if "double" in raw:
+            ct = "double"
+        elif "float" in raw:
+            ct = "float"
+        elif "long" in raw or "int" in raw:
+            ct = "long"
+        else:
+            raise RuntimeError_(f"unsupported kernel argument: {raw!r}")
+        specs.append(_ArgSpec(is_buf, ct))
+    return specs
+
+
+def _emit_dispatcher(name: str, arglist: str) -> str:
+    """A uniform-ABI driver: all buffers as void**, all scalars as
+    doubles — the ctypes side marshals accordingly."""
+    specs = _parse_args(arglist)
+    call = []
+    bi = si = 0
+    for spec in specs:
+        if spec.is_buffer:
+            call.append(f"({spec.ctype}*)bufs[{bi}]")
+            bi += 1
+        else:
+            call.append(f"({spec.ctype})scalars[{si}]")
+            si += 1
+    return "\n".join(
+        [
+            f"void clsim_dispatch_{name}(void** bufs, const double* scalars,",
+            "                            const size_t* gsize, int work_dim)",
+            "{",
+            "  for (int d = 0; d < 3; ++d) { __sf_gsz[d] = 1; __sf_gid[d] = 0; }",
+            "  for (int d = 0; d < work_dim; ++d) __sf_gsz[d] = gsize[d];",
+            "  for (size_t g2 = 0; g2 < __sf_gsz[2]; ++g2)",
+            "  for (size_t g1 = 0; g1 < __sf_gsz[1]; ++g1)",
+            "  for (size_t g0 = 0; g0 < __sf_gsz[0]; ++g0) {",
+            "    __sf_gid[0] = g0; __sf_gid[1] = g1; __sf_gid[2] = g2;",
+            f"    {name}({', '.join(call)});",
+            "  }",
+            "}",
+        ]
+    )
+
+
+class Kernel:
+    """Callable kernel: ``kernel(queue, global_size, local_size, *args)``."""
+
+    def __init__(self, program: Program, name: str, specs: list[_ArgSpec]) -> None:
+        self.program = program
+        self.name = name
+        self._specs = specs
+        fn = getattr(program._lib, f"clsim_dispatch_{name}")
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_void_p),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_size_t),
+            ctypes.c_int,
+        ]
+        fn.restype = None
+        self._fn = fn
+
+    @property
+    def num_args(self) -> int:
+        return len(self._specs)
+
+    def __call__(self, queue: CommandQueue, global_size, local_size, *args):
+        if len(args) != len(self._specs):
+            raise RuntimeError_(
+                f"CL_INVALID_KERNEL_ARGS: {self.name} takes "
+                f"{len(self._specs)} args, got {len(args)}"
+            )
+        bufs, scalars = [], []
+        for spec, a in zip(self._specs, args):
+            if spec.is_buffer:
+                if not isinstance(a, Buffer):
+                    raise RuntimeError_(
+                        f"CL_INVALID_ARG_VALUE: expected Buffer, got {type(a).__name__}"
+                    )
+                bufs.append(a.ptr)
+            else:
+                scalars.append(float(a))
+        gsize = tuple(int(g) for g in global_size)
+        if not (1 <= len(gsize) <= 3):
+            raise RuntimeError_("CL_INVALID_WORK_DIMENSION")
+        c_bufs = (ctypes.c_void_p * max(len(bufs), 1))(*bufs)
+        c_scal = (ctypes.c_double * max(len(scalars), 1))(*scalars)
+        c_gsz = (ctypes.c_size_t * 3)(*(list(gsize) + [1] * (3 - len(gsize))))
+        self._fn(c_bufs, c_scal, c_gsz, len(gsize))
+
+
+def enqueue_copy(queue: CommandQueue, dest, src) -> None:
+    """Host<->device copies, pyopencl-style dispatch on argument types."""
+    if isinstance(dest, Buffer) and isinstance(src, np.ndarray):
+        raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+        if raw.nbytes != dest.size:
+            raise RuntimeError_("CL_INVALID_VALUE: size mismatch")
+        dest._mem[:] = raw
+    elif isinstance(dest, np.ndarray) and isinstance(src, Buffer):
+        if dest.nbytes != src.size:
+            raise RuntimeError_("CL_INVALID_VALUE: size mismatch")
+        flat = dest.reshape(-1).view(np.uint8)
+        flat[:] = src._mem
+    else:
+        raise RuntimeError_("CL_INVALID_VALUE: unsupported copy direction")

@@ -1,0 +1,38 @@
+"""The Snowflake DSL: weights, components, domains, stencils."""
+
+from .components import Component, identity, shifted
+from .domains import DomainUnion, RectDomain, ResolvedRect, as_domain
+from .expr import BinOp, Constant, Expr, GridRead, Neg, Param, as_expr
+from .flatten import FlatStencil, FlatTerm, flatten_expr
+from .stencil import OutputMap, Stencil, StencilGroup
+from .validate import ValidationError, check_group, check_stencil
+from .weights import SparseArray, WeightArray, as_weights
+
+__all__ = [
+    "Component",
+    "identity",
+    "shifted",
+    "DomainUnion",
+    "RectDomain",
+    "ResolvedRect",
+    "as_domain",
+    "BinOp",
+    "Constant",
+    "Expr",
+    "GridRead",
+    "Neg",
+    "Param",
+    "as_expr",
+    "FlatStencil",
+    "FlatTerm",
+    "flatten_expr",
+    "OutputMap",
+    "Stencil",
+    "StencilGroup",
+    "ValidationError",
+    "check_group",
+    "check_stencil",
+    "SparseArray",
+    "WeightArray",
+    "as_weights",
+]

@@ -1,0 +1,104 @@
+""":class:`Component` — stencil weights bound to a named grid.
+
+A component is itself an :class:`~repro.core.expr.Expr`, so components
+compose arithmetically exactly as in the paper's Fig.4::
+
+    Ax        = Component("mesh", WeightArray([[0, top, 0], ...]))
+    b         = Component("rhs",  WeightArray([[1]]))
+    diff      = b - Ax
+    final     = original + lam * diff
+
+Applying ``Component(g, W)`` at iteration point ``i`` means
+
+    sum over offsets o of W:   weight(o, at point i+o) * g[i + o]
+
+where expression-valued weights are evaluated *at the shifted point* —
+that anchoring is what makes face-centred variable coefficients (e.g.
+``beta_x`` read on the +x face) expressible by nesting a component inside
+a weight array.  A ``scale`` turns neighbour reads into strided reads
+``g[scale*i + o]`` for restriction-style operators.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .expr import Expr, GridRead
+from .weights import SparseArray, WeightArray, _WeightsBase, as_weights
+
+__all__ = ["Component"]
+
+
+class Component(Expr):
+    """Associate a :class:`WeightArray`/:class:`SparseArray` with a grid."""
+
+    __slots__ = ("grid", "weights", "scale")
+
+    def __init__(
+        self,
+        grid: str,
+        weights: "_WeightsBase | Sequence | Mapping",
+        scale: Sequence[int] | int | None = None,
+    ) -> None:
+        if not grid or not isinstance(grid, str):
+            raise TypeError("Component grid must be a non-empty string")
+        w = as_weights(weights)
+        if scale is None:
+            sc = (1,) * w.ndim
+        elif isinstance(scale, int):
+            sc = (scale,) * w.ndim
+        else:
+            sc = tuple(int(s) for s in scale)
+        if len(sc) != w.ndim:
+            raise ValueError("scale dimensionality does not match weights")
+        if any(s <= 0 for s in sc):
+            raise ValueError("scales must be positive integers")
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "scale", sc)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Component is immutable")
+
+    @property
+    def ndim(self) -> int:
+        return self.weights.ndim
+
+    def children(self) -> tuple[Expr, ...]:
+        """Expose expression-valued weights so tree walks reach them."""
+        return tuple(w for _, w in self.weights if isinstance(w, Expr))
+
+    def reads(self) -> list[GridRead]:
+        """Direct reads of this component's own grid (one per weight)."""
+        return [
+            GridRead(self.grid, off, self.scale) for off, _ in self.weights
+        ]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Component)
+            and other.grid == self.grid
+            and other.scale == self.scale
+            and other.weights == self.weights
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Component", self.grid, self.scale, self.weights))
+
+    def signature(self) -> str:
+        sc = "" if all(s == 1 for s in self.scale) else f"*{list(self.scale)}"
+        return f"C[{self.grid}{sc}]{self.weights.signature()}"
+
+
+def identity(grid: str, ndim: int) -> Component:
+    """The pass-through component: reads ``grid`` at the centre point."""
+    return Component(grid, SparseArray({(0,) * ndim: 1.0}))
+
+
+def shifted(grid: str, offset: Sequence[int]) -> Component:
+    """A single-point component reading ``grid[i + offset]``."""
+    off = tuple(int(o) for o in offset)
+    return Component(grid, SparseArray({off: 1.0}))
+
+
+__all__ += ["identity", "shifted"]

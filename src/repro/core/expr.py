@@ -1,0 +1,298 @@
+"""Expression IR for Snowflake stencil bodies.
+
+A stencil body is an arithmetic expression over *grid reads*.  Reads carry
+an affine index map ``idx[d] = scale[d] * i[d] + offset[d]`` applied to the
+iteration point ``i`` — the multiplicative part is what lets Snowflake
+express restriction and interpolation operators (paper SectionVI contrasts
+this with SDSL's additive-only offsets).
+
+Expressions are immutable and hash-consable; ``signature()`` produces a
+stable string used as part of the JIT cache key.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Expr",
+    "Constant",
+    "Param",
+    "GridRead",
+    "BinOp",
+    "Neg",
+    "as_expr",
+    "walk",
+    "grids_read",
+    "params_used",
+]
+
+
+class Expr:
+    """Base class for all stencil expressions.
+
+    Supports the arithmetic operators so DSL users can write
+    ``b - Ax`` or ``original + lam * difference`` directly (paper Fig.4).
+    """
+
+    __slots__ = ()
+
+    # -- operator sugar -----------------------------------------------------
+
+    def __add__(self, other: "Expr | float") -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "Expr | float") -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "Expr | float") -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "Expr | float") -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "Expr | float") -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "Expr | float") -> "Expr":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "Expr | float") -> "Expr":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "Expr | float") -> "Expr":
+        return BinOp("/", as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+    def __pos__(self) -> "Expr":
+        return self
+
+    # -- interface ----------------------------------------------------------
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def signature(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.signature()
+
+
+class Constant(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        if not isinstance(value, numbers.Real):
+            raise TypeError(f"Constant requires a real number, got {value!r}")
+        object.__setattr__(self, "value", float(value))
+
+    def __setattr__(self, *a):  # immutability
+        raise AttributeError("Constant is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+    def signature(self) -> str:
+        return repr(self.value)
+
+
+class Param(Expr):
+    """A named scalar supplied at call time (e.g. a relaxation weight).
+
+    Params keep compiled callables reusable across runs where only scalar
+    knobs change — no recompilation, the value is passed through the FFI.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"Param name must be an identifier: {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Param is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Param) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Param", self.name))
+
+    def signature(self) -> str:
+        return f"param:{self.name}"
+
+
+class GridRead(Expr):
+    """Read ``grid[scale * i + offset]`` at iteration point ``i``.
+
+    ``scale`` defaults to all-ones (plain neighbour access); restriction
+    reads use ``scale=2``.  Scales must be positive integers so that the
+    dependence analysis stays within the linear-Diophantine fragment.
+    """
+
+    __slots__ = ("grid", "offset", "scale")
+
+    def __init__(
+        self,
+        grid: str,
+        offset: Sequence[int],
+        scale: Sequence[int] | None = None,
+    ) -> None:
+        if not grid or not isinstance(grid, str):
+            raise TypeError("grid must be a non-empty string")
+        off = tuple(int(o) for o in offset)
+        if scale is None:
+            sc = (1,) * len(off)
+        else:
+            sc = tuple(int(s) for s in scale)
+        if len(sc) != len(off):
+            raise ValueError("scale and offset dimensionality differ")
+        if any(s <= 0 for s in sc):
+            raise ValueError("scales must be positive integers")
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(self, "offset", off)
+        object.__setattr__(self, "scale", sc)
+
+    def __setattr__(self, *a):
+        raise AttributeError("GridRead is immutable")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.offset)
+
+    def compose(self, outer_scale: Sequence[int], outer_offset: Sequence[int]) -> "GridRead":
+        """Index map composition: evaluate this read at point ``S*i + O``.
+
+        ``scale*(S*i + O) + offset  ==  (scale*S)*i + (scale*O + offset)``.
+        Used when a weight *expression* sits at a non-zero stencil offset:
+        its reads must be re-anchored to the shifted evaluation point.
+        """
+        new_scale = tuple(s * S for s, S in zip(self.scale, outer_scale))
+        new_offset = tuple(
+            s * O + o for s, O, o in zip(self.scale, outer_offset, self.offset)
+        )
+        return GridRead(self.grid, new_offset, new_scale)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GridRead)
+            and other.grid == self.grid
+            and other.offset == self.offset
+            and other.scale == self.scale
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GridRead", self.grid, self.offset, self.scale))
+
+    def signature(self) -> str:
+        if all(s == 1 for s in self.scale):
+            return f"{self.grid}@{list(self.offset)}"
+        return f"{self.grid}@{list(self.scale)}*i+{list(self.offset)}"
+
+
+_VALID_OPS = ("+", "-", "*", "/")
+
+
+class BinOp(Expr):
+    """Binary arithmetic node."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in _VALID_OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        if not isinstance(lhs, Expr) or not isinstance(rhs, Expr):
+            raise TypeError("BinOp operands must be Expr")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", rhs)
+
+    def __setattr__(self, *a):
+        raise AttributeError("BinOp is immutable")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BinOp)
+            and other.op == self.op
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, self.lhs, self.rhs))
+
+    def signature(self) -> str:
+        return f"({self.lhs.signature()} {self.op} {self.rhs.signature()})"
+
+
+class Neg(Expr):
+    """Unary negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        if not isinstance(operand, Expr):
+            raise TypeError("Neg operand must be Expr")
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *a):
+        raise AttributeError("Neg is immutable")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Neg) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("Neg", self.operand))
+
+    def signature(self) -> str:
+        return f"(-{self.operand.signature()})"
+
+
+def as_expr(value: "Expr | float | int") -> Expr:
+    """Coerce numbers to :class:`Constant`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, numbers.Real):
+        return Constant(float(value))
+    raise TypeError(f"cannot interpret {value!r} as a stencil expression")
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def grids_read(expr: Expr) -> set[str]:
+    """Names of all grids referenced anywhere under ``expr``.
+
+    Both :class:`GridRead` and :class:`~repro.core.components.Component`
+    carry a ``grid`` attribute (duck-typed here to avoid a circular
+    import), and ``Component.children`` exposes its weight expressions,
+    so nested variable-coefficient grids are found too.
+    """
+    return {n.grid for n in walk(expr) if hasattr(n, "grid")}
+
+
+def params_used(expr: Expr) -> set[str]:
+    """Names of all scalar :class:`Param` nodes under ``expr``."""
+    return {n.name for n in walk(expr) if isinstance(n, Param)}

@@ -1,0 +1,174 @@
+"""Serialization of DSL objects to plain JSON-able dictionaries.
+
+Stencil definitions are *data* — a solver can store its operator suite
+next to its checkpoints, a batch system can ship stencils to workers
+(the :mod:`repro.dmem` story), and tests can diff golden definitions.
+``to_dict``/``from_dict`` round-trip every core object; scalar-weight
+containers and expression-weight components are both supported, since
+expressions themselves serialize.
+
+The format is versioned; loaders reject unknown versions and unknown
+node kinds loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .components import Component
+from .domains import DomainUnion, RectDomain
+from .expr import BinOp, Constant, Expr, GridRead, Neg, Param
+from .stencil import OutputMap, Stencil, StencilGroup
+from .weights import SparseArray
+
+__all__ = ["to_dict", "from_dict", "dumps", "loads", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Unknown node kind or format version."""
+
+
+# -- encoding -------------------------------------------------------------------
+
+
+def to_dict(obj) -> dict[str, Any]:
+    """Encode any core object as a JSON-able dict."""
+    d = _encode(obj)
+    d["format_version"] = FORMAT_VERSION
+    return d
+
+
+def _encode(obj) -> dict[str, Any]:
+    if isinstance(obj, Constant):
+        return {"kind": "constant", "value": obj.value}
+    if isinstance(obj, Param):
+        return {"kind": "param", "name": obj.name}
+    if isinstance(obj, GridRead):
+        return {
+            "kind": "read",
+            "grid": obj.grid,
+            "offset": list(obj.offset),
+            "scale": list(obj.scale),
+        }
+    if isinstance(obj, Neg):
+        return {"kind": "neg", "operand": _encode(obj.operand)}
+    if isinstance(obj, BinOp):
+        return {
+            "kind": "binop",
+            "op": obj.op,
+            "lhs": _encode(obj.lhs),
+            "rhs": _encode(obj.rhs),
+        }
+    if isinstance(obj, Component):
+        entries = []
+        for off, w in obj.weights:
+            entries.append(
+                {
+                    "offset": list(off),
+                    "weight": _encode(w) if isinstance(w, Expr) else float(w),
+                }
+            )
+        return {
+            "kind": "component",
+            "grid": obj.grid,
+            "scale": list(obj.scale),
+            "weights": entries,
+        }
+    if isinstance(obj, RectDomain):
+        return {
+            "kind": "rect",
+            "start": list(obj.start),
+            "end": list(obj.end),
+            "stride": list(obj.stride),
+        }
+    if isinstance(obj, DomainUnion):
+        return {"kind": "union", "rects": [_encode(r) for r in obj.rects]}
+    if isinstance(obj, OutputMap):
+        return {
+            "kind": "output_map",
+            "scale": list(obj.scale),
+            "offset": list(obj.offset),
+        }
+    if isinstance(obj, Stencil):
+        return {
+            "kind": "stencil",
+            "name": obj.name,
+            "output": obj.output,
+            "body": _encode(obj.body),
+            "domain": _encode(obj.domain),
+            "output_map": _encode(obj.output_map),
+            "iteration_grid": obj.iteration_grid,
+        }
+    if isinstance(obj, StencilGroup):
+        return {
+            "kind": "group",
+            "name": obj.name,
+            "stencils": [_encode(s) for s in obj.stencils],
+        }
+    raise SerializationError(f"cannot serialize {type(obj).__name__}")
+
+
+# -- decoding --------------------------------------------------------------------
+
+
+def from_dict(d: dict[str, Any]):
+    """Decode an object produced by :func:`to_dict`."""
+    v = d.get("format_version", FORMAT_VERSION)
+    if v != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {v}")
+    return _decode(d)
+
+
+def _decode(d: dict[str, Any]):
+    kind = d.get("kind")
+    if kind == "constant":
+        return Constant(d["value"])
+    if kind == "param":
+        return Param(d["name"])
+    if kind == "read":
+        return GridRead(d["grid"], d["offset"], d["scale"])
+    if kind == "neg":
+        return Neg(_decode(d["operand"]))
+    if kind == "binop":
+        return BinOp(d["op"], _decode(d["lhs"]), _decode(d["rhs"]))
+    if kind == "component":
+        entries = {}
+        for e in d["weights"]:
+            w = e["weight"]
+            entries[tuple(e["offset"])] = (
+                _decode(w) if isinstance(w, dict) else float(w)
+            )
+        return Component(d["grid"], SparseArray(entries), scale=d["scale"])
+    if kind == "rect":
+        return RectDomain(d["start"], d["end"], d["stride"])
+    if kind == "union":
+        return DomainUnion([_decode(r) for r in d["rects"]])
+    if kind == "output_map":
+        return OutputMap(d["scale"], d["offset"])
+    if kind == "stencil":
+        return Stencil(
+            _decode(d["body"]),
+            d["output"],
+            _decode(d["domain"]),
+            output_map=_decode(d["output_map"]),
+            iteration_grid=d.get("iteration_grid"),
+            name=d.get("name"),
+        )
+    if kind == "group":
+        return StencilGroup(
+            [_decode(s) for s in d["stencils"]], name=d.get("name")
+        )
+    raise SerializationError(f"unknown node kind {kind!r}")
+
+
+def dumps(obj, **json_kwargs) -> str:
+    """JSON string form of :func:`to_dict`."""
+    return json.dumps(to_dict(obj), **json_kwargs)
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`."""
+    return from_dict(json.loads(text))

@@ -1,0 +1,155 @@
+"""Static validation of stencils against concrete grid shapes.
+
+Catches, before any code generation, the classic stencil bugs: reads or
+writes that fall outside a grid, shape-incoherent multi-grid operators
+(restriction/interpolation ratios), and missing grids/params at call
+time.  All backends funnel through :func:`check_group` so error messages
+are uniform across micro-compilers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .domains import ResolvedRect
+from .stencil import Stencil, StencilGroup
+
+__all__ = ["ValidationError", "check_stencil", "check_group", "footprint_bounds"]
+
+
+class ValidationError(ValueError):
+    """A stencil is inconsistent with the shapes it is applied to."""
+
+
+def footprint_bounds(
+    rect: ResolvedRect, scale: Sequence[int], offset: Sequence[int]
+) -> list[tuple[int, int]]:
+    """Inclusive per-dim (min, max) of ``scale*i + offset`` over ``rect``.
+
+    Scales are positive, so extremes occur at the domain extremes.
+    """
+    lo_pt = rect.lows
+    hi_pt = rect.highs()
+    return [
+        (s * lo + o, s * hi + o)
+        for s, lo, hi, o in zip(scale, lo_pt, hi_pt, offset)
+    ]
+
+
+def check_stencil(
+    stencil: Stencil, shapes: Mapping[str, Sequence[int]]
+) -> None:
+    """Raise :class:`ValidationError` if ``stencil`` cannot run on ``shapes``."""
+    out_shape = shapes.get(stencil.output)
+    if out_shape is None:
+        raise ValidationError(
+            f"{stencil.name}: output grid {stencil.output!r} missing from shapes"
+        )
+    out_shape = tuple(int(s) for s in out_shape)
+    if len(out_shape) != stencil.ndim:
+        raise ValidationError(
+            f"{stencil.name}: output grid {stencil.output!r} is "
+            f"{len(out_shape)}-D but the stencil is {stencil.ndim}-D"
+        )
+    for g in stencil.input_grids():
+        if g not in shapes:
+            raise ValidationError(
+                f"{stencil.name}: input grid {g!r} missing from shapes"
+            )
+        gs = tuple(int(s) for s in shapes[g])
+        if len(gs) != stencil.ndim:
+            raise ValidationError(
+                f"{stencil.name}: grid {g!r} is {len(gs)}-D but the stencil "
+                f"is {stencil.ndim}-D"
+            )
+
+    # Domains resolve against the *iteration* shape.  For identity output
+    # maps that is the output grid; for scaled writes, the domain is in
+    # iteration space and the write footprint must land inside the output.
+    iter_shape = _iteration_shape(stencil, shapes)
+    for rect in stencil.domain.resolve(iter_shape):
+        if rect.is_empty():
+            continue
+        # write footprint
+        for d, (lo, hi) in enumerate(
+            footprint_bounds(rect, stencil.output_map.scale, stencil.output_map.offset)
+        ):
+            if lo < 0 or hi >= out_shape[d]:
+                raise ValidationError(
+                    f"{stencil.name}: write to {stencil.output!r} dim {d} "
+                    f"spans [{lo}, {hi}] outside [0, {out_shape[d]})"
+                )
+        # read footprints
+        for read in stencil.flat.reads():
+            gs = tuple(int(s) for s in shapes[read.grid])
+            for d, (lo, hi) in enumerate(
+                footprint_bounds(rect, read.scale, read.offset)
+            ):
+                if lo < 0 or hi >= gs[d]:
+                    raise ValidationError(
+                        f"{stencil.name}: read of {read.grid!r} at "
+                        f"{read.signature()} dim {d} spans [{lo}, {hi}] "
+                        f"outside [0, {gs[d]})"
+                    )
+
+
+def _iteration_shape(
+    stencil: Stencil, shapes: Mapping[str, Sequence[int]]
+) -> tuple[int, ...]:
+    """Shape the domain's relative (negative) indices resolve against.
+
+    An explicit ``iteration_grid`` wins (interpolation names its coarse
+    grid); identity writes iterate over the output grid itself; scaled
+    writes without an explicit grid iterate over the logical space of
+    every index whose write lands in bounds,
+    ``ceil((out_size - offset) / scale)``.
+    """
+    if stencil.iteration_grid is not None:
+        if stencil.iteration_grid not in shapes:
+            raise ValidationError(
+                f"{stencil.name}: iteration grid "
+                f"{stencil.iteration_grid!r} missing from shapes"
+            )
+        return tuple(int(s) for s in shapes[stencil.iteration_grid])
+    out_shape = tuple(int(s) for s in shapes[stencil.output])
+    om = stencil.output_map
+    if om.is_identity():
+        return out_shape
+    return tuple(
+        -((-(n - o)) // s) for n, s, o in zip(out_shape, om.scale, om.offset)
+    )
+
+
+def iteration_shape(
+    stencil: Stencil, shapes: Mapping[str, Sequence[int]]
+) -> tuple[int, ...]:
+    """Public alias used by backends."""
+    return _iteration_shape(stencil, shapes)
+
+
+def check_group(
+    group: StencilGroup, shapes: Mapping[str, Sequence[int]]
+) -> None:
+    for s in group:
+        check_stencil(s, shapes)
+
+
+def check_arrays(
+    group: StencilGroup,
+    grids: Mapping[str, "object"],
+    params: Mapping[str, float],
+) -> None:
+    """Call-time validation: every grid/param present, dtypes coherent."""
+    import numpy as np
+
+    needed_grids = group.grids()
+    missing = needed_grids - set(grids)
+    if missing:
+        raise ValidationError(f"missing grids at call time: {sorted(missing)}")
+    needed_params = group.params()
+    missing_p = needed_params - set(params)
+    if missing_p:
+        raise ValidationError(f"missing params at call time: {sorted(missing_p)}")
+    dtypes = {np.asarray(grids[g]).dtype for g in needed_grids}
+    if len(dtypes) > 1:
+        raise ValidationError(f"grids have mixed dtypes: {sorted(map(str, dtypes))}")

@@ -1,0 +1,14 @@
+"""cudasim — a CPU simulator for the generated CUDA kernels.
+
+The CUDA twin of :mod:`repro.clsim` (see DESIGN.md substitutions): the
+verbatim ``__global__`` kernel text from
+:mod:`repro.backends.cuda_backend` is compiled as C99 behind a shim
+that supplies ``blockIdx``/``blockDim``/``threadIdx``/``gridDim`` as
+sweep variables, and per-kernel drivers iterate the launch grid like an
+in-order CUDA stream.
+"""
+
+from .driver import build_executor
+from .translate import shim_header, translation_unit
+
+__all__ = ["build_executor", "shim_header", "translation_unit"]

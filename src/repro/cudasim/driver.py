@@ -1,0 +1,92 @@
+"""Host-side execution of a :class:`CudaProgram` on the simulator.
+
+Plays the CUDA runtime's role: builds the module (gcc JIT), keeps
+device buffers zero-copy over the caller's numpy arrays, and replays
+the host plan like an in-order stream — ``cudaMemcpy`` for snapshot
+copies, kernel launches with the configured block shape, and
+``cudaDeviceSynchronize`` barriers (no-ops under serial execution).
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..backends.cuda_backend import CudaProgram
+from ..backends.codegen_c import ctype_for
+from ..backends.jit import compile_and_load
+from ..backends.opencl_backend import Barrier, CopyBuffer, KernelLaunch
+from ..core.stencil import StencilGroup
+from .translate import translation_unit
+
+__all__ = ["build_executor"]
+
+
+def build_executor(
+    program: CudaProgram,
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    dtype,
+) -> Callable:
+    ctype = ctype_for(dtype)
+    npdtype = np.dtype(dtype)
+    lib = compile_and_load(translation_unit(program, ctype))
+
+    drivers = {}
+    for kname in program.kernel_ranges:
+        fn = getattr(lib, f"drive_{kname}")
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_void_p),
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.POINTER(ctypes.c_size_t),
+            ctypes.POINTER(ctypes.c_size_t),
+        ]
+        fn.restype = None
+        drivers[kname] = fn
+
+    grid_names = [b for b in program.buffer_order if b not in program.snap_of]
+    snap_names = [b for b in program.buffer_order if b in program.snap_of]
+    snap_arrays = {
+        s: np.empty(shapes[program.snap_of[s]], dtype=npdtype)
+        for s in snap_names
+    }
+    buf_index = {b: i for i, b in enumerate(program.buffer_order)}
+    gshapes = {g: tuple(int(x) for x in shapes[g]) for g in grid_names}
+    block = (ctypes.c_size_t * 2)(*program.block)
+
+    def impl(arrays: Mapping[str, np.ndarray], params: Mapping[str, float]):
+        ptrs = (ctypes.c_void_p * len(program.buffer_order))()
+        for g in grid_names:
+            a = arrays[g]
+            if a.dtype != npdtype:
+                raise TypeError(
+                    f"grid {g!r} has dtype {a.dtype}, module built for {npdtype}"
+                )
+            if tuple(a.shape) != gshapes[g]:
+                raise ValueError(
+                    f"grid {g!r} has shape {a.shape}, module built for {gshapes[g]}"
+                )
+            if not a.flags["C_CONTIGUOUS"]:
+                raise ValueError(f"grid {g!r} must be C-contiguous")
+            ptrs[buf_index[g]] = a.ctypes.data
+        for s in snap_names:
+            ptrs[buf_index[s]] = snap_arrays[s].ctypes.data
+        pvals = (ctypes.c_double * max(len(program.param_order), 1))(
+            *[float(params[p]) for p in program.param_order]
+        )
+        for op in program.ops:
+            if isinstance(op, CopyBuffer):
+                np.copyto(snap_arrays[op.snap], arrays[op.grid])
+            elif isinstance(op, KernelLaunch):
+                gsize = (ctypes.c_size_t * 2)(1, 1)
+                for d, n in enumerate(op.global_size):
+                    gsize[d] = n
+                drivers[op.kernel](ptrs, pvals, gsize, block)
+            elif isinstance(op, Barrier):
+                pass  # serial in-order stream
+            else:  # pragma: no cover
+                raise TypeError(f"unknown host op {op!r}")
+
+    return impl

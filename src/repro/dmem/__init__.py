@@ -1,0 +1,29 @@
+"""dmem — a simulated distributed-memory backend (paper SectionVII).
+
+The paper's future work targets distributed-memory systems via MPI.
+No MPI launcher exists in this environment, so per DESIGN.md the
+substrate is simulated: :class:`~repro.dmem.comm.SimComm` provides an
+MPI-flavoured message-passing fabric between in-process ranks (send /
+recv / barrier with byte accounting and deadlock detection), and
+:class:`~repro.dmem.executor.DistributedKernel` runs any StencilGroup
+over a 1-D block decomposition with automatic halo-width inference from
+the canonical flat form and halo exchanges placed by the same
+dependence reasoning the shared-memory backends use.
+
+The exercised code path — decompose, exchange ghost rows, run the
+per-rank kernel through any micro-compiler, gather — is exactly what an
+mpi4py backend would run with ``SimComm`` swapped for ``MPI.COMM_WORLD``.
+"""
+
+from .comm import CommError, SimComm
+from .decompose import BlockDecomposition
+from .executor import DistributedKernel
+from .executor2d import DistributedKernel2D
+
+__all__ = [
+    "CommError",
+    "SimComm",
+    "BlockDecomposition",
+    "DistributedKernel",
+    "DistributedKernel2D",
+]

@@ -1,0 +1,136 @@
+"""SimComm: an in-process, MPI-shaped message-passing fabric.
+
+Mirrors the mpi4py calling convention for the subset a halo-exchange
+backend needs — ``send``/``recv`` of numpy arrays addressed by
+``(source, dest, tag)``, and a barrier.  Because every rank runs in one
+process under a lock-step driver, a ``recv`` with no matching message
+is a *provable* deadlock and raises immediately instead of hanging;
+tests use that to assert exchange protocols are complete.
+
+Traffic accounting (`bytes_sent`, `messages`) stands in for the wire:
+the distributed benchmarks report communication volume per sweep,
+which is platform-independent truth even on a simulated fabric.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CommError", "SimComm"]
+
+
+class CommError(RuntimeError):
+    """Protocol violation: missing message, bad rank, type mismatch."""
+
+
+@dataclass
+class _Stats:
+    messages: int = 0
+    bytes_sent: int = 0
+    barriers: int = 0
+
+
+class _Fabric:
+    """Shared mailbox store for one communicator."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.boxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self.stats = _Stats()
+
+
+class SimComm:
+    """One rank's endpoint on a simulated communicator.
+
+    Create the world with :meth:`world`; each element plays the role of
+    ``MPI.COMM_WORLD`` on its rank.
+    """
+
+    def __init__(self, fabric: _Fabric, rank: int) -> None:
+        self._fabric = fabric
+        self._rank = rank
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def world(size: int) -> list["SimComm"]:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        fabric = _Fabric(size)
+        return [SimComm(fabric, r) for r in range(size)]
+
+    # -- mpi4py-flavoured surface ----------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._fabric.size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._fabric.size
+
+    def send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Copy-out send (the wire owns its bytes, as with real MPI)."""
+        self._check_rank(dest)
+        if dest == self._rank:
+            raise CommError("self-send is always a protocol bug here")
+        arr = np.array(data, copy=True)
+        self._fabric.boxes[(self._rank, dest, tag)].append(arr)
+        self._fabric.stats.messages += 1
+        self._fabric.stats.bytes_sent += arr.nbytes
+
+    def recv(self, source: int, tag: int = 0) -> np.ndarray:
+        """Receive the next matching message; raises on guaranteed deadlock."""
+        self._check_rank(source)
+        box = self._fabric.boxes.get((source, self._rank, tag))
+        if not box:
+            raise CommError(
+                f"rank {self._rank} recv(source={source}, tag={tag}): "
+                "no matching message — in a real run this rank would "
+                "deadlock"
+            )
+        return box.popleft()
+
+    def sendrecv(
+        self,
+        senddata: np.ndarray,
+        dest: int,
+        recvsource: int,
+        tag: int = 0,
+    ) -> np.ndarray:
+        """Paired exchange (the halo-swap primitive).
+
+        Under the lock-step driver both sides' sends are enqueued before
+        any recv executes, so this decomposes safely.
+        """
+        self.send(senddata, dest, tag)
+        return self.recv(recvsource, tag)
+
+    def barrier(self) -> None:
+        self._fabric.stats.barriers += 1
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def stats(self) -> _Stats:
+        return self._fabric.stats
+
+    def pending_messages(self) -> int:
+        return sum(len(b) for b in self._fabric.boxes.values())
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_rank(self, r: int) -> None:
+        if not (0 <= r < self._fabric.size):
+            raise CommError(
+                f"rank {r} out of range for size-{self._fabric.size} world"
+            )

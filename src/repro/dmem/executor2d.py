@@ -1,0 +1,290 @@
+"""2-D Cartesian rank decomposition (the multisocket/NUMA shape of
+paper SectionVII: "one process per NUMA node").
+
+Extends the 1-D slab executor to a ``P0 x P1`` rank grid over the two
+leading dimensions.  Halo exchange is the classic two-phase sweep:
+first dimension1 (columns, spanning the *full* local height including
+dim-0 halos — after phase two runs, that ordering is what makes corner
+ghosts correct for diagonal-reading stencils without explicit corner
+messages), then dimension0 (rows spanning the full local width).
+
+Reuses :class:`~repro.dmem.comm.SimComm` (one fabric, ranks numbered
+row-major) and the exact lattice-restriction arithmetic of the 1-D
+executor, applied per decomposed dimension — colored domains partition
+correctly across both axes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.domains import RectDomain, ResolvedRect
+from ..core.stencil import Stencil, StencilGroup
+from ..core.validate import check_group
+from .comm import SimComm
+from .decompose import BlockDecomposition
+
+__all__ = ["DistributedKernel2D"]
+
+_TAGS = {(0, -1): 201, (0, +1): 202, (1, -1): 203, (1, +1): 204}
+
+
+def _restrict_dim(
+    lows, strides, counts, dim: int, own_lo: int, own_hi: int, base: int
+):
+    """Restrict one dimension of a resolved box to [own_lo, own_hi) and
+    translate by ``base``; returns (first, last, stride) or None."""
+    lo, st, ct = lows[dim], strides[dim], counts[dim]
+    if st == 0:
+        if not (own_lo <= lo < own_hi):
+            return None
+        return (lo - base, lo - base, 0)
+    k0 = max(0, (own_lo - lo + st - 1) // st)
+    k1 = min(ct - 1, (own_hi - 1 - lo) // st)
+    if k0 > k1:
+        return None
+    return (lo + st * k0 - base, lo + st * k1 - base, st)
+
+
+class DistributedKernel2D:
+    """SPMD executor over a ``p0 x p1`` rank grid (dims 0 and 1)."""
+
+    def __init__(
+        self,
+        group: StencilGroup,
+        global_shape: Sequence[int],
+        grid: tuple[int, int],
+        *,
+        backend: str = "c",
+        dtype=np.float64,
+        **backend_options,
+    ) -> None:
+        if len(global_shape) < 2:
+            raise ValueError("2-D decomposition needs at least 2 dims")
+        self.group = group
+        self.global_shape = tuple(int(x) for x in global_shape)
+        self.p0, self.p1 = int(grid[0]), int(grid[1])
+        self.dtype = np.dtype(dtype)
+        self.backend = backend
+        self.backend_options = dict(backend_options)
+
+        self._validate_decomposable()
+        shapes = {g: self.global_shape for g in group.grids()}
+        check_group(group, shapes)
+
+        # halo widths per decomposed dim, per stencil, per grid
+        self.read_halos: list[dict[str, tuple[int, int]]] = []
+        h0 = h1 = 0
+        for st in group:
+            per: dict[str, tuple[int, int]] = {}
+            for read in st.flat.reads():
+                w0, w1 = abs(read.offset[0]), abs(read.offset[1])
+                if w0 or w1:
+                    old = per.get(read.grid, (0, 0))
+                    per[read.grid] = (max(old[0], w0), max(old[1], w1))
+                    h0, h1 = max(h0, w0), max(h1, w1)
+            self.read_halos.append(per)
+        self.halo = (h0, h1)
+
+        self.d0 = BlockDecomposition(self.global_shape[0], self.p0, h0)
+        self.d1 = BlockDecomposition(self.global_shape[1], self.p1, h1)
+        for s in self.d0.slabs:
+            if s.own_hi - s.own_lo < h0:
+                raise ValueError("dim-0 slabs thinner than the halo")
+        for s in self.d1.slabs:
+            if s.own_hi - s.own_lo < h1:
+                raise ValueError("dim-1 slabs thinner than the halo")
+        self.comms = SimComm.world(self.p0 * self.p1)
+
+        # per-rank kernels
+        self._kernels: list[list[tuple[Stencil, object] | None]] = []
+        for r0 in range(self.p0):
+            for r1 in range(self.p1):
+                s0, s1 = self.d0.slabs[r0], self.d1.slabs[r1]
+                local_shape = (
+                    s0.rows, s1.rows, *self.global_shape[2:]
+                )
+                row: list[tuple[Stencil, object] | None] = []
+                for st in group:
+                    rects = [
+                        r
+                        for r in st.domain.resolve(self.global_shape)
+                        if not r.is_empty()
+                    ]
+                    local_doms = []
+                    for rect in rects:
+                        a = _restrict_dim(
+                            rect.lows, rect.strides, rect.counts, 0,
+                            s0.own_lo, s0.own_hi, s0.base,
+                        )
+                        if a is None:
+                            continue
+                        b = _restrict_dim(
+                            rect.lows, rect.strides, rect.counts, 1,
+                            s1.own_lo, s1.own_hi, s1.base,
+                        )
+                        if b is None:
+                            continue
+                        starts = [a[0], b[0]]
+                        ends = [a[1] + 1, b[1] + 1]
+                        strides = [a[2], b[2]]
+                        for d in range(2, rect.ndim):
+                            dlo, dst, dct = (
+                                rect.lows[d], rect.strides[d], rect.counts[d]
+                            )
+                            starts.append(dlo)
+                            ends.append(dlo + dst * (dct - 1) + 1)
+                            strides.append(dst)
+                        local_doms.append(
+                            RectDomain(tuple(starts), tuple(ends), tuple(strides))
+                        )
+                    if not local_doms:
+                        row.append(None)
+                        continue
+                    dom = local_doms[0]
+                    for extra in local_doms[1:]:
+                        dom = dom + extra
+                    local = Stencil(
+                        st.body, st.output, dom,
+                        output_map=st.output_map,
+                        name=f"{st.name}@r{r0}_{r1}",
+                    )
+                    kernel = local.compile(
+                        backend=self.backend,
+                        shapes={g: local_shape for g in local.grids()},
+                        dtype=self.dtype,
+                        **self.backend_options,
+                    )
+                    row.append((local, kernel))
+                self._kernels.append(row)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _rank(self, r0: int, r1: int) -> int:
+        return r0 * self.p1 + r1
+
+    def _validate_decomposable(self) -> None:
+        for st in self.group:
+            if not st.output_map.is_identity():
+                raise ValueError(
+                    f"{st.name}: scaled output maps are node-local"
+                )
+            for read in st.flat.reads():
+                if read.scale[0] != 1 or read.scale[1] != 1:
+                    raise ValueError(
+                        f"{st.name}: scaled reads in decomposed dims"
+                    )
+
+    # -- halo exchange ---------------------------------------------------------
+
+    def _exchange_dim(self, locals_, grid: str, dim: int, width: int) -> None:
+        """Swap ``width`` layers along ``dim`` between neighbour ranks.
+
+        Slices span the FULL extent of the other dimensions (including
+        their halos), so running dim 1 before dim 0 transports corner
+        data in two hops.
+        """
+        if width == 0:
+            return
+        decomp = self.d0 if dim == 0 else self.d1
+
+        def neighbors(r0, r1, delta):
+            if dim == 0:
+                rr = r0 + delta
+                return None if not (0 <= rr < self.p0) else self._rank(rr, r1)
+            rr = r1 + delta
+            return None if not (0 <= rr < self.p1) else self._rank(r0, rr)
+
+        def take(arr, lo, hi):
+            sl = [slice(None)] * arr.ndim
+            sl[dim] = slice(lo, hi)
+            return arr[tuple(sl)]
+
+        # phase 1: all sends
+        for r0 in range(self.p0):
+            for r1 in range(self.p1):
+                me = self._rank(r0, r1)
+                slab = decomp.slabs[r0 if dim == 0 else r1]
+                arr = locals_[me][grid]
+                lo, hi = slab.local_own_lo, slab.local_own_hi
+                down = neighbors(r0, r1, -1)
+                if down is not None:
+                    self.comms[me].send(
+                        take(arr, lo, lo + width), down, _TAGS[(dim, -1)]
+                    )
+                up = neighbors(r0, r1, +1)
+                if up is not None:
+                    self.comms[me].send(
+                        take(arr, hi - width, hi), up, _TAGS[(dim, +1)]
+                    )
+        # phase 2: all receives
+        for r0 in range(self.p0):
+            for r1 in range(self.p1):
+                me = self._rank(r0, r1)
+                slab = decomp.slabs[r0 if dim == 0 else r1]
+                arr = locals_[me][grid]
+                lo, hi = slab.local_own_lo, slab.local_own_hi
+                up = neighbors(r0, r1, +1)
+                if up is not None:
+                    block = self.comms[me].recv(up, _TAGS[(dim, -1)])
+                    take(arr, hi, hi + width)[...] = block
+                down = neighbors(r0, r1, -1)
+                if down is not None:
+                    block = self.comms[me].recv(down, _TAGS[(dim, +1)])
+                    take(arr, lo - width, lo)[...] = block
+
+    # -- execution ----------------------------------------------------------------
+
+    def __call__(self, **global_arrays: np.ndarray) -> None:
+        grids = self.group.grids()
+        missing = grids - set(global_arrays)
+        if missing:
+            raise TypeError(f"missing grids: {sorted(missing)}")
+
+        locals_ = []
+        for r0 in range(self.p0):
+            for r1 in range(self.p1):
+                s0, s1 = self.d0.slabs[r0], self.d1.slabs[r1]
+                locals_.append(
+                    {
+                        g: np.array(
+                            np.asarray(global_arrays[g], dtype=self.dtype)[
+                                s0.base : s0.stop, s1.base : s1.stop
+                            ],
+                            copy=True, order="C",
+                        )
+                        for g in grids
+                    }
+                )
+
+        for si in range(len(self.group)):
+            for g, (w0, w1) in self.read_halos[si].items():
+                # dim-1 first, then dim-0 spanning dim-1 halos: corners
+                # arrive transitively.
+                self._exchange_dim(locals_, g, 1, w1)
+                self._exchange_dim(locals_, g, 0, w0)
+            for me in range(self.p0 * self.p1):
+                entry = self._kernels[me][si]
+                if entry is None:
+                    continue
+                local, kernel = entry
+                kernel(**{g: locals_[me][g] for g in local.grids()})
+
+        outputs = {st.output for st in self.group}
+        for g in outputs:
+            for r0 in range(self.p0):
+                for r1 in range(self.p1):
+                    me = self._rank(r0, r1)
+                    s0, s1 = self.d0.slabs[r0], self.d1.slabs[r1]
+                    global_arrays[g][
+                        s0.own_lo : s0.own_hi, s1.own_lo : s1.own_hi
+                    ] = locals_[me][g][
+                        s0.local_own_lo : s0.local_own_hi,
+                        s1.local_own_lo : s1.local_own_hi,
+                    ]
+
+    @property
+    def comm_stats(self):
+        return self.comms[0].stats

@@ -1,0 +1,19 @@
+"""Figure/table regeneration harness (paper SectionV).
+
+One module per evaluation artifact:
+
+* :mod:`repro.figures.fig6` — modified STREAM dot bandwidth
+* :mod:`repro.figures.fig7` — stencils/s for the three operators, CPU & GPU
+* :mod:`repro.figures.fig8` — VC GSRB smoother time vs problem size
+* :mod:`repro.figures.fig9` — full GMG solver DOF/s
+
+Each exposes ``run(...) -> (headers, rows)`` and a ``main`` that prints
+the table; the CLI is ``python -m repro.figures <fig6|fig7|fig8|fig9>``.
+Measured numbers come from this host; paper-platform numbers come from
+the calibrated execution model and are labelled as such (DESIGN.md,
+substitutions table).
+"""
+
+from . import common, fig6, fig7, fig8, fig9
+
+__all__ = ["common", "fig6", "fig7", "fig8", "fig9"]

@@ -1,0 +1,39 @@
+"""CLI: ``python -m repro.figures <fig6|fig7|fig8|fig9|all> [--size N]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from . import fig6, fig7, fig8, fig9
+
+
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(
+        prog="repro.figures",
+        description="Regenerate the evaluation figures of the Snowflake paper.",
+    )
+    ap.add_argument("figure", choices=["fig6", "fig7", "fig8", "fig9", "all"])
+    ap.add_argument(
+        "--size", type=int, default=None,
+        help="host problem size per dimension (default: figure-specific)",
+    )
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--cycles", type=int, default=10, help="fig9 V-cycles")
+    args = ap.parse_args(argv)
+
+    if args.figure in ("fig6", "all"):
+        fig6.main(repeats=args.repeats)
+        print()
+    if args.figure in ("fig7", "all"):
+        fig7.main(n=args.size or 64, repeats=args.repeats)
+        print()
+    if args.figure in ("fig8", "all"):
+        sizes = (16, 32, args.size) if args.size else (16, 32, 64)
+        fig8.main(host_sizes=tuple(sorted(set(sizes))), repeats=args.repeats)
+        print()
+    if args.figure in ("fig9", "all"):
+        fig9.main(n=args.size or 32, cycles=args.cycles)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Shared workload builders for the evaluation figures.
+
+The paper's three standalone operators (SectionV-A), each with the
+interspersed Dirichlet boundary stencils the text calls out:
+
+* ``cc_7pt``   — out = A x, constant-coefficient 7-point Laplacian
+* ``cc_jacobi`` — tmp = x + (2/3) D⁻¹ (rhs - A x)
+* ``vc_gsrb``  — one full red/black in-place smooth, variable coefficients
+
+Every workload is a :class:`StencilGroup` over one :class:`Level`, so a
+single code path measures any backend — the paper's single-source claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.stencil import StencilGroup
+from ..hpgmg.level import Level
+from ..hpgmg.operators import (
+    boundary_stencils,
+    cc_diagonal,
+    cc_laplacian,
+    jacobi_stencil,
+    residual_stencil,
+    smooth_group,
+    vc_laplacian,
+)
+from ..machine.model import KernelWork
+from ..machine.roofline import PAPER_BYTES_PER_STENCIL
+
+__all__ = [
+    "OperatorCase",
+    "OPERATORS",
+    "build_case",
+    "operator_work",
+    "DEFAULT_SIZE",
+]
+
+DEFAULT_SIZE = 64  # paper uses 256^3; container default is laptop-scale
+
+
+@dataclass
+class OperatorCase:
+    """A ready-to-run operator workload on one level."""
+
+    name: str
+    level: Level
+    group: StencilGroup
+    #: points counted as "stencils" per application (paper metric)
+    points: int
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return {g: self.level.grids[g] for g in self.group.grids()}
+
+    def compile(self, backend: str, **options) -> Callable:
+        shapes = {g: self.level.shape for g in self.group.grids()}
+        kernel = self.group.compile(
+            backend=backend, shapes=shapes, dtype=self.level.dtype, **options
+        )
+        arrays = self.arrays()
+
+        def run():
+            kernel(**arrays)
+
+        return run
+
+
+def build_case(name: str, n: int, ndim: int = 3, seed: int = 7) -> OperatorCase:
+    """Construct one of the paper's operator workloads at size ``n^ndim``."""
+    rng = np.random.default_rng(seed)
+    if name == "cc_7pt":
+        level = Level(n, ndim, coefficients="constant")
+        Ax = cc_laplacian(ndim, level.h)
+        group = StencilGroup(
+            boundary_stencils(ndim, "x")
+            + [residual_stencil(ndim, Ax, out="res")],
+            name="cc_7pt",
+        )
+    elif name == "cc_jacobi":
+        level = Level(n, ndim, coefficients="constant")
+        Ax = cc_laplacian(ndim, level.h)
+        lam = 1.0 / cc_diagonal(ndim, level.h)
+        group = StencilGroup(
+            boundary_stencils(ndim, "x")
+            + [jacobi_stencil(ndim, Ax, lam=lam)],
+            name="cc_jacobi",
+        )
+    elif name == "vc_gsrb":
+        level = Level(n, ndim, coefficients="variable")
+        Ax = vc_laplacian(ndim, level.h)
+        group = smooth_group(ndim, Ax, lam="lam", n_smooths=1)
+    else:
+        raise ValueError(f"unknown operator {name!r}")
+    for g in ("x", "rhs"):
+        level.grids[g][level.interior] = rng.random((n,) * ndim)
+    return OperatorCase(name, level, group, points=n**ndim)
+
+
+OPERATORS = ("cc_7pt", "cc_jacobi", "vc_gsrb")
+
+
+def operator_work(name: str, n: int, ndim: int = 3) -> KernelWork:
+    """The execution-model workload of one operator application.
+
+    Traffic uses the paper's SectionV-B per-stencil constants; the
+    working set covers every array the sweep touches; launch counts
+    follow the stencil structure (boundary faces are separate kernels,
+    GSRB has two color sweeps with re-applied boundaries).
+    """
+    word = 8.0
+    points = n**ndim
+    grid_bytes = (n + 2) ** ndim * word
+    if name == "cc_7pt":
+        bytes_pp = PAPER_BYTES_PER_STENCIL["cc_7pt"]
+        arrays = 2  # x, out
+        launches = 1 + 2 * ndim
+    elif name == "cc_jacobi":
+        bytes_pp = PAPER_BYTES_PER_STENCIL["cc_jacobi"]
+        arrays = 3  # x, rhs, out (+ constant lambda)
+        launches = 1 + 2 * ndim
+    elif name == "vc_gsrb":
+        bytes_pp = PAPER_BYTES_PER_STENCIL["vc_gsrb"]
+        arrays = 3 + ndim + 1  # x, rhs, betas, lam
+        launches = 2 * (1 + 2 * ndim)
+    else:
+        raise ValueError(f"unknown operator {name!r}")
+    return KernelWork(
+        points=points,
+        bytes_per_point=bytes_pp,
+        working_set=arrays * grid_bytes,
+        launches=launches,
+    )

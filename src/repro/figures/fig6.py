@@ -1,0 +1,38 @@
+"""Figure6 — the modified STREAM (dot-product) bandwidth benchmark.
+
+The paper uses this kernel to set the Roofline denominator for every
+stencil bound.  We print the measured host bandwidth for the sequential
+C, OpenMP, and numpy flavors across array sizes, alongside the paper's
+platform figures (22.2GB/s CPU, 127GB/s GPU) for context.
+"""
+
+from __future__ import annotations
+
+from ..machine.specs import I7_4765T, K20C
+from ..machine.stream import stream_dot_bandwidth
+from ..util.tables import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(sizes=(2**20, 2**22, 2**24), repeats: int = 5):
+    headers = ["N (doubles)", "flavor", "GB/s", "source"]
+    rows = []
+    for n in sizes:
+        for flavor in ("c", "openmp", "numpy"):
+            bw = stream_dot_bandwidth(n=n, repeats=repeats, flavor=flavor)
+            rows.append([n, flavor, bw / 1e9, "measured (host)"])
+    rows.append(["-", "paper CPU (i7-4765T STREAM)", I7_4765T.stream_bw / 1e9, "paper"])
+    rows.append(["-", "paper GPU (K20c ERT)", K20C.stream_bw / 1e9, "paper"])
+    return headers, rows
+
+
+def main(sizes=(2**20, 2**22, 2**24), repeats: int = 5) -> str:
+    headers, rows = run(sizes, repeats)
+    out = format_table(headers, rows, title="Fig.6 — modified STREAM dot bandwidth")
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

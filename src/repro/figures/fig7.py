@@ -1,0 +1,140 @@
+"""Figure7 — stencils/s for the three operators on CPU and GPU.
+
+Measured rows: the Snowflake OpenMP backend and the hand-optimized C
+baseline run on *this host*, normalized to the host's measured STREAM
+bandwidth so the roofline fraction is comparable to the paper's.
+
+Paper-platform rows: the calibrated execution model on the i7-4765T
+and K20c specs (DESIGN.md substitution), which reproduces the figure's
+shape — Snowflake ≈ HPGMG ≈ roofline on CPU, Snowflake/OpenCL about
+half of HPGMG-CUDA on the GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.kernels_c import BaselineKernels3D
+from ..machine.model import IMPLEMENTATIONS, predict_sweep_time
+from ..machine.roofline import PAPER_BYTES_PER_STENCIL, roofline_stencils_per_s
+from ..machine.specs import I7_4765T, K20C, host_spec
+from ..util.tables import format_table
+from ..util.timing import best_of
+from .common import DEFAULT_SIZE, OPERATORS, build_case, operator_work
+
+__all__ = ["run", "main", "measure_host", "model_paper_platforms"]
+
+
+def _baseline_runner(name: str, case):
+    """Hand-optimized comparator for one operator application."""
+    k = BaselineKernels3D()
+    lvl = case.level
+    g = lvl.grids
+    n = lvl.n
+    invh2 = 1.0 / (lvl.h * lvl.h)
+    if name == "cc_7pt":
+        def run():
+            k.bc(g["x"], n)
+            k.residual_cc(g["res"], g["x"], g["rhs"], n, invh2)
+    elif name == "cc_jacobi":
+        wlam = (2.0 / 3.0) / (6.0 * invh2)
+        def run():
+            k.bc(g["x"], n)
+            k.jacobi_cc(g["tmp"], g["x"], g["rhs"], n, invh2, wlam)
+    elif name == "vc_gsrb":
+        def run():
+            for color in (0, 1):
+                k.bc(g["x"], n)
+                k.gsrb_vc(
+                    g["x"], g["rhs"], g["beta_0"], g["beta_1"], g["beta_2"],
+                    g["lam"], n, invh2, color,
+                )
+    else:
+        raise ValueError(name)
+    return run
+
+
+def measure_host(n: int = DEFAULT_SIZE, repeats: int = 3, backend: str = "openmp"):
+    """Measured stencils/s on this host: Snowflake vs hand-written C."""
+    rows = []
+    spec = host_spec()
+    for name in OPERATORS:
+        case = build_case(name, n)
+        sf = case.compile(backend)
+        t_sf = best_of(sf, warmup=1, repeats=repeats)
+        bl = _baseline_runner(name, build_case(name, n))
+        t_bl = best_of(bl, warmup=1, repeats=repeats)
+        bound = roofline_stencils_per_s(spec, PAPER_BYTES_PER_STENCIL[name])
+        rows.append(
+            {
+                "operator": name,
+                "snowflake": case.points / t_sf,
+                "baseline": case.points / t_bl,
+                "roofline": bound,
+            }
+        )
+    return rows
+
+
+def model_paper_platforms(n: int = 256):
+    """Model-predicted stencils/s on the paper's two testbeds."""
+    rows = []
+    for plat_name, spec, sf_impl, hand_impl in (
+        ("Core i7-4765T", I7_4765T, "snowflake-openmp", "hpgmg-openmp"),
+        ("K20c GPU", K20C, "snowflake-opencl", "hpgmg-cuda"),
+    ):
+        for name in OPERATORS:
+            work = operator_work(name, n)
+            t_sf = predict_sweep_time(spec, IMPLEMENTATIONS[sf_impl], work)
+            t_hand = predict_sweep_time(spec, IMPLEMENTATIONS[hand_impl], work)
+            bound = roofline_stencils_per_s(
+                spec, PAPER_BYTES_PER_STENCIL[name], work.working_set
+            )
+            rows.append(
+                {
+                    "platform": plat_name,
+                    "operator": name,
+                    "snowflake": work.points / t_sf,
+                    "hpgmg": work.points / t_hand,
+                    "roofline": bound,
+                }
+            )
+    return rows
+
+
+def run(n: int = DEFAULT_SIZE, model_n: int = 256, repeats: int = 3):
+    headers = [
+        "platform", "operator", "HPGMG (GStencil/s)",
+        "Snowflake (GStencil/s)", "Roofline (GStencil/s)", "source",
+    ]
+    rows = []
+    for r in measure_host(n, repeats):
+        rows.append(
+            [
+                f"host {n}^3", r["operator"], r["baseline"] / 1e9,
+                r["snowflake"] / 1e9, r["roofline"] / 1e9, "measured",
+            ]
+        )
+    for r in model_paper_platforms(model_n):
+        rows.append(
+            [
+                f"{r['platform']} {model_n}^3", r["operator"], r["hpgmg"] / 1e9,
+                r["snowflake"] / 1e9, r["roofline"] / 1e9, "model",
+            ]
+        )
+    return headers, rows
+
+
+def main(n: int = DEFAULT_SIZE, model_n: int = 256, repeats: int = 3) -> str:
+    headers, rows = run(n, model_n, repeats)
+    out = format_table(
+        headers, rows,
+        title=f"Fig.7 — operator performance (host measured at {n}^3, "
+        f"paper platforms modeled at {model_n}^3)",
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

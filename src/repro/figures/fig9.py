@@ -1,0 +1,149 @@
+"""Figure9 — full geometric multigrid solver throughput (DOF/s).
+
+The paper's protocol (SectionV-A): 10 V-cycles, "two GSRB smooths
+(4 stencil sweeps) for pre- and postsmoothing" (one full red/black
+smooth before and one after each coarse correction), variable
+coefficients; throughput = unknowns / total solve time.
+Host rows race the all-Snowflake solver against the hand-written
+C driver; paper-platform rows walk the same V-cycle schedule through
+the execution model (every level's smooth/residual/restrict/interp
+traffic and launches summed).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..baselines.mg_c import BaselineMultigrid3D
+from ..hpgmg.level import Level
+from ..hpgmg.solver import MultigridSolver
+from ..machine.model import IMPLEMENTATIONS, KernelWork, predict_sweep_time
+from ..machine.specs import I7_4765T, K20C
+from ..util.tables import format_table
+
+__all__ = ["run", "main", "vcycle_work", "model_gmg_time"]
+
+WORD = 8.0
+
+
+def vcycle_work(n: int, *, n_pre: int = 1, n_post: int = 1,
+                min_coarse: int = 2, bottom_smooths: int = 32,
+                ndim: int = 3) -> list[KernelWork]:
+    """Per-kernel work items of one V-cycle on an ``n^ndim`` hierarchy."""
+    works: list[KernelWork] = []
+    sizes = [n]
+    while sizes[-1] % 2 == 0 and sizes[-1] // 2 >= min_coarse:
+        sizes.append(sizes[-1] // 2)
+    for li, nl in enumerate(sizes):
+        points = nl**ndim
+        grid = (nl + 2) ** ndim * WORD
+        smooths = (
+            bottom_smooths if li == len(sizes) - 1 else (n_pre + n_post)
+        )
+        # GSRB smooth: full point update at 64 B/pt, 2 color launches +
+        # 2*2*ndim boundary launches per smooth.
+        works.append(
+            KernelWork(
+                points=points * smooths,
+                bytes_per_point=64.0,
+                working_set=7 * grid,
+                launches=smooths * 2 * (1 + 2 * ndim),
+            )
+        )
+        if li == len(sizes) - 1:
+            continue
+        # residual (reads x, rhs, 3 betas; writes res)
+        works.append(
+            KernelWork(points=points, bytes_per_point=56.0,
+                       working_set=7 * grid, launches=1 + 2 * ndim)
+        )
+        nc = nl // 2
+        cpoints = nc**ndim
+        # restriction: stream fine res + write coarse rhs
+        works.append(
+            KernelWork(points=cpoints,
+                       bytes_per_point=WORD * 2**ndim + 2 * WORD,
+                       working_set=grid, launches=1)
+        )
+        # interpolation: read coarse x, read+write fine x
+        works.append(
+            KernelWork(points=cpoints,
+                       bytes_per_point=WORD + 2**ndim * 2 * WORD,
+                       working_set=grid, launches=2**ndim + 2 * ndim)
+        )
+    return works
+
+
+def model_gmg_time(spec, impl, n: int, cycles: int = 10) -> float:
+    works = vcycle_work(n)
+    per_cycle = sum(predict_sweep_time(spec, impl, w) for w in works)
+    return cycles * per_cycle
+
+
+def run(n: int = 32, cycles: int = 10, model_n: int = 256):
+    headers = ["platform", "size", "HPGMG (MDOF/s)", "Snowflake (MDOF/s)",
+               "residual reduction", "source"]
+    rows = []
+
+    # -- host, measured ------------------------------------------------------
+    # Paper SectionV-A: "two GSRB smooths (4 stencil sweeps) for pre- and
+    # postsmoothing" = one full red/black smooth before and one after.
+    fine = Level(n, 3, coefficients="variable")
+    _seed_problem(fine)
+    solver = MultigridSolver(fine, backend="openmp", n_pre=1, n_post=1)
+    solver.solve(cycles=1)  # warmup (includes JIT)
+    _seed_problem(fine)
+    t0 = time.perf_counter()
+    hist_sf = solver.solve(cycles=cycles)
+    t_sf = time.perf_counter() - t0
+
+    fine_b = Level(n, 3, coefficients="variable")
+    _seed_problem(fine_b)
+    bl = BaselineMultigrid3D(fine_b, n_pre=1, n_post=1)
+    bl.solve(cycles=1)  # warmup
+    _seed_problem(fine_b)
+    t0 = time.perf_counter()
+    hist_bl = bl.solve(cycles=cycles)
+    t_bl = time.perf_counter() - t0
+
+    dof = fine.dof
+    rows.append(
+        ["host", f"{n}^3", dof / t_bl / 1e6, dof / t_sf / 1e6,
+         f"{hist_sf[0] / max(hist_sf[-1], 1e-300):.1e}", "measured"]
+    )
+
+    # -- paper platforms, modeled ---------------------------------------------
+    for plat, spec, sf_impl, hand_impl in (
+        ("Core i7-4765T", I7_4765T, "snowflake-openmp", "hpgmg-openmp"),
+        ("K20c GPU", K20C, "snowflake-opencl", "hpgmg-cuda"),
+    ):
+        dof_m = model_n**3
+        t_sf_m = model_gmg_time(spec, IMPLEMENTATIONS[sf_impl], model_n, cycles)
+        t_h_m = model_gmg_time(spec, IMPLEMENTATIONS[hand_impl], model_n, cycles)
+        rows.append(
+            [plat, f"{model_n}^3", dof_m / t_h_m / 1e6,
+             dof_m / t_sf_m / 1e6, "-", "model"]
+        )
+    return headers, rows
+
+
+def _seed_problem(level: Level) -> None:
+    import numpy as np
+
+    rng = np.random.default_rng(99)
+    level.zero("x", "res", "tmp")
+    level.grids["rhs"][level.interior] = rng.random((level.n,) * level.ndim)
+
+
+def main(n: int = 32, cycles: int = 10, model_n: int = 256) -> str:
+    headers, rows = run(n, cycles, model_n)
+    out = format_table(
+        headers, rows,
+        title=f"Fig.9 — GMG solve throughput ({cycles} V-cycles)",
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

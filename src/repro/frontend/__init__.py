@@ -1,0 +1,29 @@
+"""Frontend pass pipeline over stencil groups.
+
+The paper's JIT "modifies the AST by multiple analysis, optimization
+and translation passes" (SectionIV).  In this reproduction the unit of
+transformation is the :class:`~repro.core.stencil.StencilGroup`; this
+package provides the pass protocol, the built-in passes (dead-stencil
+elimination, dependence-aware reordering, validation), and a composable
+:class:`PassManager`.
+"""
+
+from .passes import (
+    DeadStencilElimination,
+    GroupPass,
+    PassManager,
+    Reorder,
+    Validate,
+    default_pipeline,
+    optimize_group,
+)
+
+__all__ = [
+    "DeadStencilElimination",
+    "GroupPass",
+    "PassManager",
+    "Reorder",
+    "Validate",
+    "default_pipeline",
+    "optimize_group",
+]

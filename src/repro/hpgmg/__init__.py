@@ -1,0 +1,23 @@
+"""HPGMG-style geometric multigrid, written entirely in Snowflake.
+
+The paper's evaluation driver (SectionV): a Python reference
+implementation of HPGMG whose every kernel — smoothers, residual,
+restriction, interpolation, boundary conditions — is a Snowflake
+stencil compiled through a chosen micro-compiler backend.
+"""
+
+from .level import Level, default_beta
+from .problem import apply_operator, setup_problem, smooth_u_exact
+from .solver import MultigridSolver
+from . import highorder, operators
+
+__all__ = [
+    "Level",
+    "default_beta",
+    "apply_operator",
+    "setup_problem",
+    "smooth_u_exact",
+    "MultigridSolver",
+    "highorder",
+    "operators",
+]

@@ -1,0 +1,68 @@
+"""Roofline performance bounds (paper SectionV-B).
+
+For memory-bound stencils the speed-of-light is
+
+    stencils/s  =  bandwidth / compulsory_bytes_per_stencil
+
+The paper quotes 24, 40 and 64 bytes per stencil for the constant-
+coefficient 7-point Laplacian, the constant-coefficient Jacobi
+smoother, and the variable-coefficient GSRB smoother respectively
+(double precision, write-allocate caches, no cache-bypass stores, no
+capacity/conflict misses).  We carry those constants *and* derive the
+same quantity analytically from any :class:`FlatStencil` so arbitrary
+user stencils get a bound too.
+"""
+
+from __future__ import annotations
+
+from ..core.stencil import Stencil
+from .specs import MachineSpec
+
+__all__ = [
+    "PAPER_BYTES_PER_STENCIL",
+    "bytes_per_point",
+    "roofline_stencils_per_s",
+    "roofline_time",
+]
+
+#: SectionV-B constants (bytes of compulsory DRAM traffic per stencil).
+PAPER_BYTES_PER_STENCIL = {
+    "cc_7pt": 24.0,
+    "cc_jacobi": 40.0,
+    "vc_gsrb": 64.0,
+}
+
+_WORD = 8.0  # double precision
+
+
+def bytes_per_point(stencil: Stencil, *, write_allocate: bool = True) -> float:
+    """Analytic compulsory traffic per updated point.
+
+    Counts each *distinct grid* read once (perfect reuse of neighbouring
+    loads within a sweep — the asymptotic assumption of SectionV-B),
+    plus the store; a write-allocate cache first reads the written line
+    unless the sweep already read that grid.
+    """
+    read_grids = stencil.flat.grids()
+    traffic = _WORD * len(read_grids)
+    traffic += _WORD  # the store itself
+    if write_allocate and stencil.output not in read_grids:
+        traffic += _WORD  # write-allocate fill
+    return traffic
+
+
+def roofline_stencils_per_s(
+    spec: MachineSpec, bytes_per_stencil: float, working_set: float = float("inf")
+) -> float:
+    """Speed-of-light update rate for a stencil sweep on ``spec``."""
+    return spec.effective_bw(working_set) / bytes_per_stencil
+
+
+def roofline_time(
+    spec: MachineSpec,
+    bytes_per_stencil: float,
+    points: int,
+    working_set: float = float("inf"),
+) -> float:
+    """Lower bound on the time of one sweep over ``points`` updates."""
+    return points * bytes_per_stencil / spec.effective_bw(working_set)

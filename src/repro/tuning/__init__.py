@@ -1,0 +1,5 @@
+"""Autotuning utilities for the compiled micro-compilers."""
+
+from .autotune import DEFAULT_CANDIDATES, TuneResult, autotune_tile
+
+__all__ = ["DEFAULT_CANDIDATES", "TuneResult", "autotune_tile"]

@@ -1,0 +1,91 @@
+"""Per-stencil profiling of a group — "no optimization without measuring".
+
+The HPC-Python discipline the guides insist on: before reaching for a
+compile option, measure where the time goes.  :func:`profile_group`
+compiles and times every member stencil of a group *individually* (same
+backend and options as the real run), so the report shows which stencil
+dominates and how far it sits from the machine's bandwidth bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.stencil import StencilGroup
+from ..core.validate import iteration_shape
+from .tables import format_table
+from .timing import best_of
+
+__all__ = ["StencilProfile", "profile_group", "format_profile"]
+
+
+@dataclass(frozen=True)
+class StencilProfile:
+    name: str
+    points: int
+    seconds: float
+    stencils_per_s: float
+    share: float  # fraction of the whole group's measured time
+
+
+def profile_group(
+    group: StencilGroup,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, float] | None = None,
+    *,
+    backend: str = "c",
+    repeats: int = 3,
+    **backend_options,
+) -> list[StencilProfile]:
+    """Time each stencil of ``group`` separately.
+
+    ``arrays`` are scratch copies (stencils mutate them).  Member
+    stencils are compiled alone, so cross-stencil scheduling effects are
+    deliberately excluded — this answers "which *operator* is hot",
+    which is the question that decides tuning effort.
+    """
+    params = dict(params or {})
+    shapes = {g: a.shape for g, a in arrays.items()}
+    raw: list[tuple[str, int, float]] = []
+    for stencil in group:
+        sub = StencilGroup([stencil], name=stencil.name)
+        kernel = sub.compile(
+            backend=backend,
+            shapes={g: shapes[g] for g in sub.grids()},
+            **backend_options,
+        )
+        args = {g: arrays[g] for g in sub.grids()}
+        pvals = {p: params[p] for p in sub.params()}
+        t = best_of(lambda: kernel(**args, **pvals), warmup=1, repeats=repeats)
+        it_shape = iteration_shape(stencil, shapes)
+        points = sum(
+            r.npoints for r in stencil.domain.resolve(it_shape)
+        )
+        raw.append((stencil.name, points, t))
+    total = sum(t for _, _, t in raw) or 1.0
+    return [
+        StencilProfile(
+            name=n,
+            points=p,
+            seconds=t,
+            stencils_per_s=(p / t if t > 0 else float("inf")),
+            share=t / total,
+        )
+        for n, p, t in raw
+    ]
+
+
+def format_profile(profiles: list[StencilProfile]) -> str:
+    """Fixed-width report, hottest stencil first."""
+    rows = [
+        [p.name, p.points, p.seconds, p.stencils_per_s / 1e6, f"{p.share:.1%}"]
+        for p in sorted(profiles, key=lambda p: -p.seconds)
+    ]
+    return format_table(
+        ["stencil", "points", "seconds", "Mstencil/s", "share"],
+        rows,
+        title="per-stencil profile (hottest first)",
+    )

@@ -1,0 +1,51 @@
+"""Shared helpers importable from any test module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stencil import Stencil, StencilGroup
+
+#: every registered backend that must agree on every stencil
+ALL_BACKENDS = ("python", "numpy", "c", "openmp", "opencl-sim", "cuda-sim")
+#: fast subset for tests that only need one compiled target
+COMPILED_BACKENDS = ("c", "openmp", "opencl-sim")
+
+
+def run_group(
+    group: "StencilGroup | Stencil",
+    arrays: dict[str, np.ndarray],
+    params: dict[str, float] | None = None,
+    backend: str = "numpy",
+    **options,
+) -> dict[str, np.ndarray]:
+    """Deep-copy ``arrays``, run ``group`` on ``backend``, return copies."""
+    if isinstance(group, Stencil):
+        group = StencilGroup([group])
+    work = {g: np.array(a, copy=True) for g, a in arrays.items()}
+    kernel = group.compile(backend=backend, **options)
+    kernel(**work, **(params or {}))
+    return work
+
+
+def assert_backends_agree(
+    group: "StencilGroup | Stencil",
+    arrays: dict[str, np.ndarray],
+    params: dict[str, float] | None = None,
+    backends=ALL_BACKENDS,
+    rtol: float = 1e-12,
+    atol: float = 1e-12,
+    **options,
+) -> dict[str, np.ndarray]:
+    """Run on every backend and compare against the python reference."""
+    ref = run_group(group, arrays, params, backend="python")
+    for backend in backends:
+        if backend == "python":
+            continue
+        got = run_group(group, arrays, params, backend=backend, **options)
+        for g in ref:
+            np.testing.assert_allclose(
+                got[g], ref[g], rtol=rtol, atol=atol,
+                err_msg=f"backend {backend!r} disagrees on grid {g!r}",
+            )
+    return ref

@@ -1,0 +1,77 @@
+"""Coloring analysis: partitions, disjointness, k-colorings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.colors import (
+    checkerboard,
+    domains_disjoint,
+    is_partition,
+    k_coloring,
+    union_self_disjoint,
+)
+from repro.core.domains import DomainUnion, RectDomain
+
+
+class TestDisjoint:
+    def test_disjoint_boxes(self):
+        a = RectDomain((0, 0), (4, 4))
+        b = RectDomain((4, 4), (8, 8))
+        assert domains_disjoint(a, b, (10, 10))
+
+    def test_overlapping_boxes(self):
+        a = RectDomain((0, 0), (5, 5))
+        b = RectDomain((4, 4), (8, 8))
+        assert not domains_disjoint(a, b, (10, 10))
+
+    def test_interleaved_lattices(self):
+        a = RectDomain((0,), (-1,), (2,))
+        b = RectDomain((1,), (-1,), (2,))
+        assert domains_disjoint(a, b, (20,))
+
+    def test_union_self_disjoint(self):
+        ok = RectDomain((1,), (5,)) + RectDomain((5,), (9,))
+        bad = RectDomain((1,), (6,)) + RectDomain((5,), (9,))
+        assert union_self_disjoint(ok, (10,))
+        assert not union_self_disjoint(bad, (10,))
+
+
+class TestPartition:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("size", [8, 9, 11])
+    def test_checkerboard_partitions_interior(self, ndim, size):
+        red, black = checkerboard(ndim)
+        interior = RectDomain.interior(ndim)
+        assert is_partition([red, black], interior, (size,) * ndim)
+
+    def test_missing_color_fails(self):
+        red, _ = checkerboard(2)
+        interior = RectDomain.interior(2)
+        assert not is_partition([red], interior, (8, 8))
+
+    def test_overlapping_colors_fail(self):
+        red, _ = checkerboard(2)
+        interior = RectDomain.interior(2)
+        assert not is_partition([red, red], interior, (8, 8))
+
+    def test_color_outside_region_fails(self):
+        interior = RectDomain((2, 2), (-2, -2))
+        red, black = checkerboard(2)  # spills outside the shrunk region
+        assert not is_partition([red, black], interior, (10, 10))
+
+    def test_k_coloring_partitions(self):
+        colors = k_coloring(2, 2)
+        assert len(colors) == 4
+        interior = RectDomain.interior(2)
+        assert is_partition(colors, interior, (10, 10))
+
+    def test_k3_coloring(self):
+        colors = k_coloring(1, 3)
+        assert len(colors) == 3
+        interior = RectDomain.interior(1)
+        assert is_partition(colors, interior, (11,))
+
+    def test_counts_add_up(self):
+        colors = k_coloring(2, 2)
+        total = sum(c.npoints((9, 9)) for c in colors)
+        assert total == 7 * 7

@@ -1,0 +1,153 @@
+"""Interval (Halide-style) analysis vs. the exact Diophantine analysis.
+
+Two claims, both from the paper:
+
+1. **Soundness of both**: interval analysis never misses a dependence
+   the exact analysis finds (property-tested) — it is a correct but
+   weaker over-approximation.
+2. **Precision gap**: the cases the paper calls out — red/black color
+   independence, in-place GSRB legality — are exactly where intervals
+   report *false* hazards and the Diophantine analysis does not.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dependence import (
+    cross_stencil_dependence,
+    is_parallel_safe,
+)
+from repro.analysis.interval import (
+    interval_cross_stencil_dependence,
+    interval_group_dependences,
+    interval_is_parallel_safe,
+)
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.weights import SparseArray, WeightArray
+from repro.hpgmg.operators import (
+    boundary_stencils,
+    cc_laplacian,
+    gsrb_stencils,
+    smooth_group,
+)
+
+SHAPE = (18, 18)
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+INTERIOR = RectDomain((1, 1), (-1, -1))
+
+
+def shapes_for(*stencils):
+    out = {}
+    for s in stencils:
+        for g in s.grids():
+            out[g] = SHAPE
+    return out
+
+
+class TestPrecisionGap:
+    def test_gsrb_colors_safe_exactly_but_not_by_intervals(self):
+        red, black = gsrb_stencils(2, cc_laplacian(2, 0.1), lam=0.1)
+        shapes = shapes_for(red)
+        # the exact analysis proves in-place legality...
+        assert is_parallel_safe(red, shapes)
+        assert is_parallel_safe(black, shapes)
+        # ...intervals flag a false hazard (red box overlaps shifted box)
+        assert not interval_is_parallel_safe(red, shapes)
+        assert not interval_is_parallel_safe(black, shapes)
+
+    def test_red_and_black_interfere_only_by_intervals(self):
+        # two *different* output grids over red vs black lattices: zero
+        # real conflict, but the interval boxes coincide.
+        red_dom = RectDomain.colored(2, 0)
+        black_dom = RectDomain.colored(2, 1)
+        src = Component("src", WeightArray([[1]]))
+        s_red = Stencil(src, "dst", red_dom, name="r")
+        s_black = Stencil(src, "dst", black_dom, name="b")
+        shapes = shapes_for(s_red, s_black)
+        assert cross_stencil_dependence(s_red, s_black, shapes) == set()
+        assert "WAW" in interval_cross_stencil_dependence(s_red, s_black, shapes)
+
+    def test_strided_writers_disjoint_exactly_not_by_intervals(self):
+        a = Stencil(LAP, "out", RectDomain((1, 1), (-1, -1), (2, 1)), name="a")
+        b = Stencil(LAP, "out", RectDomain((2, 1), (-1, -1), (2, 1)), name="b")
+        shapes = shapes_for(a, b)
+        assert cross_stencil_dependence(a, b, shapes) == set()
+        assert interval_cross_stencil_dependence(a, b, shapes) != set()
+
+    def test_smoother_under_intervals(self):
+        group = smooth_group(2, cc_laplacian(2, 0.1), lam=0.1)
+        shapes = {g: SHAPE for g in group.grids()}
+        from repro.analysis.dependence import group_dependences
+
+        exact = group_dependences(group, shapes)
+        interval = interval_group_dependences(group, shapes)
+        # cross-stencil: intervals over-approximate pair-by-pair...
+        for pair, kinds in exact.items():
+            assert kinds <= interval.get(pair, set())
+        # ...but the decisive loss is *intra*-stencil: under intervals
+        # every colored half-sweep must run serially (or buffered),
+        # doubling the smoother's memory traffic.
+        colored = [s for s in group if s.name.startswith("gsrb")]
+        assert colored
+        for s in colored:
+            assert is_parallel_safe(s, shapes)
+            assert not interval_is_parallel_safe(s, shapes)
+
+    def test_agreement_where_intervals_suffice(self):
+        # far-apart dense boxes: both analyses see independence
+        a = Stencil(LAP, "out", RectDomain((1, 1), (6, 6)), name="a")
+        b = Stencil(LAP, "out", RectDomain((9, 9), (16, 16)), name="b")
+        shapes = shapes_for(a, b)
+        assert cross_stencil_dependence(a, b, shapes) == set()
+        assert interval_cross_stencil_dependence(a, b, shapes) == set()
+
+    def test_boundary_vs_deep_interior_both_clean(self):
+        # the paper's boundary example: with finite boxes the interval
+        # test also clears it (the *infinite-domain* failure needs
+        # unbounded footprints); the stride cases above are where the
+        # Diophantine machinery is irreplaceable.
+        bc = boundary_stencils(2, "u")[0]
+        deep = Stencil(LAP, "u", RectDomain((2, 2), (-2, -2)))
+        shapes = shapes_for(bc, deep)
+        assert cross_stencil_dependence(deep, bc, shapes) == set()
+        assert interval_cross_stencil_dependence(deep, bc, shapes) == set()
+
+
+@st.composite
+def stencil_pairs(draw):
+    def one(name):
+        offs = draw(
+            st.lists(
+                st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+                min_size=1, max_size=3, unique=True,
+            )
+        )
+        start = draw(st.tuples(st.integers(2, 4), st.integers(2, 4)))
+        stride = draw(st.tuples(st.integers(1, 3), st.integers(1, 3)))
+        out = draw(st.sampled_from(["u", "a"]))
+        body = Component("u", SparseArray({o: 1.0 for o in offs}))
+        return Stencil(body, out, RectDomain(start, (-2, -2), stride), name=name)
+
+    return one("s1"), one("s2")
+
+
+class TestSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(pair=stencil_pairs())
+    def test_intervals_overapproximate_exact_dependences(self, pair):
+        s1, s2 = pair
+        shapes = shapes_for(s1, s2)
+        exact = cross_stencil_dependence(s1, s2, shapes)
+        interval = interval_cross_stencil_dependence(s1, s2, shapes)
+        assert exact <= interval  # never miss a real dependence
+
+    @settings(max_examples=100, deadline=None)
+    @given(pair=stencil_pairs())
+    def test_interval_safety_implies_exact_safety(self, pair):
+        s1, _ = pair
+        shapes = shapes_for(s1)
+        if interval_is_parallel_safe(s1, shapes):
+            assert is_parallel_safe(s1, shapes)

@@ -1,0 +1,45 @@
+"""JIT machinery: caching, error reporting."""
+
+import ctypes
+
+import pytest
+
+from repro.backends.jit import CompileError, cache_dir, compile_and_load
+
+
+SRC_OK = """
+double forty_two(void) { return 42.0; }
+"""
+
+
+class TestCompileAndLoad:
+    def test_compiles_and_runs(self):
+        lib = compile_and_load(SRC_OK)
+        lib.forty_two.restype = ctypes.c_double
+        assert lib.forty_two() == 42.0
+
+    def test_in_process_cache_returns_same_handle(self):
+        a = compile_and_load(SRC_OK)
+        b = compile_and_load(SRC_OK)
+        assert a is b
+
+    def test_flags_are_part_of_the_key(self):
+        a = compile_and_load(SRC_OK)
+        b = compile_and_load(SRC_OK, openmp=True)
+        assert a is not b
+
+    def test_disk_artifact_exists(self):
+        compile_and_load(SRC_OK)
+        assert any(cache_dir().glob("sf_*.so"))
+
+    def test_compile_error_carries_compiler_output(self):
+        with pytest.raises(CompileError, match="compiler failed"):
+            compile_and_load("this is not C at all;")
+
+    def test_error_keeps_source_for_debugging(self):
+        try:
+            compile_and_load("void broken( {")
+        except CompileError as e:
+            assert "source kept at" in str(e)
+        else:  # pragma: no cover
+            pytest.fail("expected CompileError")

@@ -1,0 +1,167 @@
+"""Hand-optimized baselines agree exactly with the DSL-generated kernels.
+
+These tests are what justify using the baselines as the paper's
+"hand-optimized HPGMG" stand-in: two codebases that share nothing must
+compute the same operators bit-for-bit (same update order ⇒ identical
+floating-point results for GSRB, allclose elsewhere).
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import run_group
+from repro.baselines.kernels_c import BaselineKernels3D
+from repro.baselines.mg_c import BaselineMultigrid3D
+from repro.core.stencil import Stencil, StencilGroup
+from repro.hpgmg.level import Level
+from repro.hpgmg.operators import (
+    boundary_stencils,
+    cc_diagonal,
+    cc_laplacian,
+    interior,
+    interpolation_pc_group,
+    jacobi_stencil,
+    residual_stencil,
+    restriction_stencil,
+    smooth_group,
+    vc_laplacian,
+)
+from repro.hpgmg.problem import setup_problem
+from repro.hpgmg.solver import MultigridSolver
+
+N = 8
+SHAPE = (N + 2,) * 3
+
+
+@pytest.fixture(scope="module")
+def bk():
+    return BaselineKernels3D()
+
+
+@pytest.fixture
+def vc_level(rng):
+    lvl = Level(N, 3, coefficients="variable")
+    lvl.grids["x"][lvl.interior] = rng.random((N,) * 3)
+    lvl.grids["rhs"][lvl.interior] = rng.random((N,) * 3)
+    return lvl
+
+
+class TestKernelEquivalence:
+    def test_bc(self, bk, rng):
+        u = rng.random(SHAPE)
+        dsl = run_group(StencilGroup(boundary_stencils(3, "u")), {"u": u})["u"]
+        hand = u.copy()
+        bk.bc(hand, N)
+        np.testing.assert_array_equal(dsl, hand)
+
+    def test_cc7pt(self, bk, rng):
+        h = 1.0 / N
+        u, out = rng.random(SHAPE), np.zeros(SHAPE)
+        s = Stencil(cc_laplacian(3, h, grid="u"), "out", interior(3))
+        dsl = run_group(s, {"u": u, "out": out})["out"]
+        hand = np.zeros(SHAPE)
+        bk.cc7pt(hand, u, N, 1.0 / h**2)
+        np.testing.assert_allclose(
+            dsl[1:-1, 1:-1, 1:-1], hand[1:-1, 1:-1, 1:-1], rtol=1e-13
+        )
+
+    def test_jacobi_cc(self, bk, rng):
+        h = 1.0 / N
+        lam = 1.0 / cc_diagonal(3, h)
+        u, rhs = rng.random(SHAPE), rng.random(SHAPE)
+        s = jacobi_stencil(3, cc_laplacian(3, h), lam=lam)
+        dsl = run_group(s, {"x": u, "rhs": rhs, "tmp": np.zeros(SHAPE)})["tmp"]
+        hand = np.zeros(SHAPE)
+        bk.jacobi_cc(hand, u, rhs, N, 1.0 / h**2, (2.0 / 3.0) * lam)
+        np.testing.assert_allclose(
+            dsl[1:-1, 1:-1, 1:-1], hand[1:-1, 1:-1, 1:-1], rtol=1e-12
+        )
+
+    def test_gsrb_both_colors(self, bk, vc_level):
+        lvl = vc_level
+        invh2 = 1.0 / lvl.h**2
+        group = smooth_group(3, vc_laplacian(3, lvl.h), lam="lam")
+        arrays = {g: lvl.grids[g].copy() for g in group.grids()}
+        dsl = run_group(group, arrays)["x"]
+        hand = {k: v.copy() for k, v in lvl.grids.items()}
+        for color in (0, 1):
+            bk.bc(hand["x"], N)
+            bk.gsrb_vc(
+                hand["x"], hand["rhs"], hand["beta_0"], hand["beta_1"],
+                hand["beta_2"], hand["lam"], N, invh2, color,
+            )
+        np.testing.assert_allclose(dsl, hand["x"], rtol=1e-13, atol=1e-15)
+
+    def test_residual_vc(self, bk, vc_level):
+        lvl = vc_level
+        group = StencilGroup(
+            boundary_stencils(3, "x")
+            + [residual_stencil(3, vc_laplacian(3, lvl.h))]
+        )
+        arrays = {g: lvl.grids[g].copy() for g in group.grids()}
+        dsl = run_group(group, arrays)["res"]
+        hand = {k: v.copy() for k, v in lvl.grids.items()}
+        bk.bc(hand["x"], N)
+        bk.residual_vc(
+            hand["res"], hand["x"], hand["rhs"], hand["beta_0"],
+            hand["beta_1"], hand["beta_2"], N, 1.0 / lvl.h**2,
+        )
+        np.testing.assert_allclose(
+            dsl[1:-1, 1:-1, 1:-1], hand["res"][1:-1, 1:-1, 1:-1],
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_restriction(self, bk, rng):
+        nc = 4
+        fine = rng.random((2 * nc + 2,) * 3)
+        dsl = run_group(
+            restriction_stencil(3),
+            {"res": fine, "coarse_rhs": np.zeros((nc + 2,) * 3)},
+        )["coarse_rhs"]
+        hand = np.zeros((nc + 2,) * 3)
+        bk.restrict(hand, fine, nc)
+        np.testing.assert_allclose(dsl, hand, rtol=1e-14)
+
+    def test_interp_pc(self, bk, rng):
+        nc = 4
+        coarse = rng.random((nc + 2,) * 3)
+        fine = rng.random((2 * nc + 2,) * 3)
+        dsl = run_group(
+            interpolation_pc_group(3),
+            {"coarse_x": coarse, "x": fine.copy()},
+        )["x"]
+        hand = fine.copy()
+        bk.interp_pc(hand, coarse, nc)
+        np.testing.assert_allclose(dsl, hand, rtol=1e-14)
+
+
+class TestBaselineMultigrid:
+    def test_matches_dsl_solver_exactly(self):
+        level, _ = setup_problem(16, ndim=3, coefficients="variable",
+                                 backend="numpy")
+        snap = {k: v.copy() for k, v in level.grids.items()}
+        dsl = MultigridSolver(level, backend="c")
+        h_dsl = dsl.solve(cycles=3)
+
+        lvl2 = Level(16, 3, coefficients="variable")
+        for k in lvl2.grids:
+            lvl2.grids[k][...] = snap[k]
+        hand = BaselineMultigrid3D(lvl2)
+        h_hand = hand.solve(cycles=3)
+
+        np.testing.assert_allclose(h_dsl, h_hand, rtol=1e-10)
+        np.testing.assert_allclose(
+            level.grids["x"], lvl2.grids["x"], rtol=1e-10, atol=1e-14
+        )
+
+    def test_requires_3d_variable(self):
+        with pytest.raises(ValueError):
+            BaselineMultigrid3D(Level(8, 2, coefficients="variable"))
+        with pytest.raises(ValueError):
+            BaselineMultigrid3D(Level(8, 3, coefficients="constant"))
+
+    def test_guard_rejects_bad_arrays(self, bk):
+        with pytest.raises(TypeError):
+            bk.bc(np.zeros(SHAPE, dtype=np.float32), N)
+        with pytest.raises(TypeError):
+            bk.bc(np.asfortranarray(np.zeros(SHAPE)), N)

@@ -1,0 +1,155 @@
+"""The pyopencl-shaped host API of the device simulator."""
+
+import numpy as np
+import pytest
+
+from repro.clsim import runtime as cl
+
+AXPY = """
+__kernel void axpy(__global double* y, __global const double* x,
+                   const double a)
+{
+    const long i = (long)get_global_id(0);
+    y[i] = y[i] + a * x[i];
+}
+
+__kernel void fill(__global double* y, const double v)
+{
+    y[get_global_id(0)] = v;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return cl.Context(cl.get_platforms()[0].get_devices())
+
+
+@pytest.fixture(scope="module")
+def queue(ctx):
+    return cl.CommandQueue(ctx)
+
+
+@pytest.fixture(scope="module")
+def prog(ctx):
+    return cl.Program(ctx, AXPY).build()
+
+
+class TestObjects:
+    def test_platform_and_device_discovery(self):
+        plats = cl.get_platforms()
+        assert len(plats) == 1
+        devs = plats[0].get_devices()
+        assert devs[0].type == "CPU"
+
+    def test_context_requires_devices(self):
+        with pytest.raises(cl.RuntimeError_):
+            cl.Context([])
+
+    def test_program_lists_kernels(self, prog):
+        assert prog.kernel_names == ["axpy", "fill"]
+
+    def test_unbuilt_program_rejects_kernel_access(self, ctx):
+        p = cl.Program(ctx, AXPY)
+        with pytest.raises(cl.RuntimeError_):
+            p.axpy  # noqa: B018
+
+    def test_build_failure_without_kernels(self, ctx):
+        with pytest.raises(cl.RuntimeError_, match="no kernels"):
+            cl.Program(ctx, "int x;").build()
+
+    def test_kernel_arg_count(self, prog):
+        assert prog.axpy.num_args == 3
+
+
+class TestBuffers:
+    def test_from_hostbuf_copies(self, ctx, queue):
+        a = np.arange(5.0)
+        buf = cl.Buffer(ctx, 0, hostbuf=a)
+        a[0] = 99
+        assert buf.read_as(np.float64, (5,))[0] == 0.0
+
+    def test_size_validation(self, ctx):
+        with pytest.raises(cl.RuntimeError_):
+            cl.Buffer(ctx, 0)
+
+    def test_enqueue_copy_roundtrip(self, ctx, queue):
+        a = np.arange(8.0)
+        buf = cl.Buffer(ctx, a.nbytes)
+        cl.enqueue_copy(queue, buf, a)
+        out = np.empty(8)
+        cl.enqueue_copy(queue, out, buf)
+        np.testing.assert_array_equal(out, a)
+
+    def test_copy_size_mismatch(self, ctx, queue):
+        buf = cl.Buffer(ctx, 64)
+        with pytest.raises(cl.RuntimeError_):
+            cl.enqueue_copy(queue, buf, np.zeros(9))
+        with pytest.raises(cl.RuntimeError_):
+            cl.enqueue_copy(queue, np.zeros(9), buf)
+
+    def test_bad_copy_direction(self, queue):
+        with pytest.raises(cl.RuntimeError_):
+            cl.enqueue_copy(queue, 3, 4)
+
+
+class TestKernelExecution:
+    def test_axpy(self, ctx, queue, prog):
+        x = np.arange(16.0)
+        y = np.ones(16)
+        bx = cl.Buffer(ctx, x.nbytes, hostbuf=x)
+        by = cl.Buffer(ctx, y.nbytes, hostbuf=y)
+        prog.axpy(queue, (16,), None, by, bx, np.float64(3.0))
+        out = np.empty(16)
+        cl.enqueue_copy(queue, out, by)
+        queue.finish()
+        np.testing.assert_allclose(out, 1 + 3 * x)
+
+    def test_fill_2d_ndrange(self, ctx, queue, prog):
+        y = np.zeros(12)
+        by = cl.Buffer(ctx, y.nbytes, hostbuf=y)
+        prog.fill(queue, (12,), None, by, 7.5)
+        np.testing.assert_array_equal(by.read_as(np.float64, (12,)), 7.5)
+
+    def test_wrong_arg_count(self, ctx, queue, prog):
+        by = cl.Buffer(ctx, 8)
+        with pytest.raises(cl.RuntimeError_, match="INVALID_KERNEL_ARGS"):
+            prog.axpy(queue, (1,), None, by)
+
+    def test_buffer_type_checked(self, ctx, queue, prog):
+        by = cl.Buffer(ctx, 8)
+        with pytest.raises(cl.RuntimeError_, match="INVALID_ARG_VALUE"):
+            prog.axpy(queue, (1,), None, np.zeros(1), by, 1.0)
+
+    def test_work_dimension_checked(self, ctx, queue, prog):
+        by = cl.Buffer(ctx, 8)
+        bx = cl.Buffer(ctx, 8)
+        with pytest.raises(cl.RuntimeError_, match="WORK_DIMENSION"):
+            prog.axpy(queue, (1, 1, 1, 1), None, by, bx, 1.0)
+
+    def test_runs_snowflake_generated_kernels(self, ctx, queue, rng):
+        """The generated stencil kernels run through the public API too."""
+        from repro.backends.opencl_backend import generate_opencl_program
+        from repro.core.components import Component
+        from repro.core.domains import RectDomain
+        from repro.core.stencil import Stencil, StencilGroup
+        from repro.core.weights import WeightArray
+
+        lap = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+        g = StencilGroup([Stencil(lap, "out", RectDomain((1, 1), (-1, -1)))])
+        shapes = {"u": (10, 10), "out": (10, 10)}
+        program = generate_opencl_program(g, shapes, np.float64)
+        prog2 = cl.Program(ctx, program.source).build()
+        u = rng.random((10, 10))
+        out = np.zeros((10, 10))
+        bu = cl.Buffer(ctx, u.nbytes, hostbuf=u)
+        bo = cl.Buffer(ctx, out.nbytes, hostbuf=out)
+        kname = next(iter(program.kernel_ranges))
+        gsize = program.kernel_ranges[kname]
+        getattr(prog2, kname)(queue, gsize, None, bo, bu)
+        cl.enqueue_copy(queue, out, bo)
+        manual = (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+            - 4 * u[1:-1, 1:-1]
+        )
+        np.testing.assert_allclose(out[1:-1, 1:-1], manual)

@@ -1,0 +1,9 @@
+"""Pytest fixtures for the whole suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20170529)  # IPDPSW 2017

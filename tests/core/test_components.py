@@ -1,0 +1,104 @@
+"""Component: binding weights to grids, algebra, scaled reads."""
+
+import pytest
+
+from repro.core.components import Component, identity, shifted
+from repro.core.expr import BinOp, GridRead, Param
+from repro.core.weights import SparseArray, WeightArray
+
+
+class TestConstruction:
+    def test_from_weight_array(self):
+        c = Component("mesh", WeightArray([[1]]))
+        assert c.grid == "mesh"
+        assert c.ndim == 2
+        assert c.scale == (1, 1)
+
+    def test_from_raw_list(self):
+        c = Component("u", [1, -2, 1])
+        assert c.weights == WeightArray([1, -2, 1])
+
+    def test_from_dict(self):
+        c = Component("u", {(0, 1): 2.0})
+        assert c.weights == SparseArray({(0, 1): 2.0})
+
+    def test_scalar_scale_broadcasts(self):
+        c = Component("fine", {(0, 0): 1.0}, scale=2)
+        assert c.scale == (2, 2)
+
+    def test_scale_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Component("u", [1], scale=(2, 2))
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Component("u", [1], scale=0)
+
+    def test_empty_grid_name(self):
+        with pytest.raises(TypeError):
+            Component("", [1])
+
+    def test_immutable(self):
+        c = Component("u", [1])
+        with pytest.raises(AttributeError):
+            c.grid = "v"
+
+
+class TestAlgebra:
+    def test_components_compose_with_operators(self):
+        b = Component("rhs", WeightArray([[1]]))
+        Ax = Component("mesh", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+        diff = b - Ax
+        assert isinstance(diff, BinOp)
+        assert diff.op == "-"
+
+    def test_paper_fig4_expression_builds(self):
+        original = Component("mesh", WeightArray([[1]]))
+        lam = Component("lam", WeightArray([[1]]))
+        b = Component("rhs", WeightArray([[1]]))
+        Ax = Component("mesh", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+        final = original + lam * (b - Ax)
+        from repro.core.expr import grids_read
+
+        assert grids_read(final) == {"mesh", "lam", "rhs"}
+
+    def test_scalar_times_component(self):
+        c = 2.0 * Component("u", [1])
+        assert isinstance(c, BinOp) and c.op == "*"
+
+
+class TestReadsAndChildren:
+    def test_reads_one_per_weight(self):
+        c = Component("u", WeightArray([1, 0, 2]))
+        reads = c.reads()
+        assert sorted(r.offset for r in reads) == [(-1,), (1,)]
+
+    def test_reads_carry_scale(self):
+        c = Component("f", {(0,): 1.0, (1,): 1.0}, scale=2)
+        assert all(r.scale == (2,) for r in c.reads())
+
+    def test_children_exposes_expr_weights_only(self):
+        p = Param("w")
+        c = Component("u", SparseArray({(0,): p, (1,): 3.0}))
+        assert c.children() == (p,)
+
+    def test_equality(self):
+        a = Component("u", [1, 2, 3])
+        b = Component("u", [1, 2, 3])
+        assert a == b and hash(a) == hash(b)
+        assert a != Component("v", [1, 2, 3])
+        assert a != Component("u", [1, 2, 3], scale=2)
+
+    def test_signature_mentions_scale_only_when_nontrivial(self):
+        assert "*" not in Component("u", [1]).signature().split("]")[0]
+        assert "*[2]" in Component("u", [1], scale=2).signature()
+
+
+class TestHelpers:
+    def test_identity(self):
+        c = identity("u", 3)
+        assert c.weights.entries == {(0, 0, 0): 1.0}
+
+    def test_shifted(self):
+        c = shifted("u", (0, -1))
+        assert c.weights.entries == {(0, -1): 1.0}

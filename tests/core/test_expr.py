@@ -1,0 +1,166 @@
+"""Expression IR: construction, algebra, immutability, traversal."""
+
+import pytest
+
+from repro.core.expr import (
+    BinOp,
+    Constant,
+    Expr,
+    GridRead,
+    Neg,
+    Param,
+    as_expr,
+    grids_read,
+    params_used,
+    walk,
+)
+
+
+class TestConstant:
+    def test_value_coerced_to_float(self):
+        assert Constant(3).value == 3.0
+        assert isinstance(Constant(3).value, float)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            Constant("3")
+
+    def test_equality_and_hash(self):
+        assert Constant(1.5) == Constant(1.5)
+        assert hash(Constant(1.5)) == hash(Constant(1.5))
+        assert Constant(1.5) != Constant(2.5)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Constant(1.0).value = 2.0
+
+
+class TestParam:
+    def test_requires_identifier(self):
+        with pytest.raises(ValueError):
+            Param("not an identifier")
+
+    def test_signature(self):
+        assert Param("lam").signature() == "param:lam"
+
+    def test_equality(self):
+        assert Param("w") == Param("w")
+        assert Param("w") != Param("v")
+
+
+class TestGridRead:
+    def test_default_scale_is_ones(self):
+        r = GridRead("u", (1, -1))
+        assert r.scale == (1, 1)
+        assert r.offset == (1, -1)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            GridRead("u", (0,), scale=(0,))
+        with pytest.raises(ValueError):
+            GridRead("u", (0,), scale=(-2,))
+
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(ValueError):
+            GridRead("u", (0, 0), scale=(2,))
+
+    def test_rejects_empty_grid_name(self):
+        with pytest.raises(TypeError):
+            GridRead("", (0,))
+
+    def test_compose_identity(self):
+        r = GridRead("u", (1, 2))
+        c = r.compose((1, 1), (0, 0))
+        assert c == r
+
+    def test_compose_shift(self):
+        # evaluate u[i + (1,2)] at the point i + (3,4): u[i + (4,6)]
+        r = GridRead("u", (1, 2))
+        c = r.compose((1, 1), (3, 4))
+        assert c.offset == (4, 6)
+        assert c.scale == (1, 1)
+
+    def test_compose_scale(self):
+        # u[2i + 1] evaluated at 2j + 1  ->  u[4j + 3]
+        r = GridRead("u", (1,), scale=(2,))
+        c = r.compose((2,), (1,))
+        assert c.scale == (4,)
+        assert c.offset == (3,)
+
+    def test_signature_unit_scale_is_short(self):
+        assert GridRead("u", (1, 0)).signature() == "u@[1, 0]"
+
+    def test_signature_with_scale(self):
+        assert "2" in GridRead("u", (0,), scale=(2,)).signature()
+
+
+class TestOperators:
+    def test_add_builds_binop(self):
+        e = Constant(1) + Constant(2)
+        assert isinstance(e, BinOp) and e.op == "+"
+
+    def test_number_coercion_both_sides(self):
+        left = 2 + Param("a")
+        right = Param("a") + 2
+        assert isinstance(left, BinOp) and isinstance(right, BinOp)
+        assert isinstance(left.lhs, Constant)
+        assert isinstance(right.rhs, Constant)
+
+    def test_sub_mul_div_neg(self):
+        a, b = Param("a"), Param("b")
+        assert (a - b).op == "-"
+        assert (a * b).op == "*"
+        assert (a / b).op == "/"
+        assert isinstance(-a, Neg)
+        assert +a is a
+
+    def test_rsub_rdiv(self):
+        a = Param("a")
+        e = 1 - a
+        assert e.op == "-" and isinstance(e.lhs, Constant)
+        e = 1 / a
+        assert e.op == "/" and isinstance(e.lhs, Constant)
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Constant(1), Constant(2))
+
+    def test_binop_rejects_raw_values(self):
+        with pytest.raises(TypeError):
+            BinOp("+", 1, Constant(2))
+
+
+class TestTraversal:
+    def _expr(self):
+        return (GridRead("u", (0, 1)) + GridRead("v", (1, 0))) * Param("w") - 3
+
+    def test_walk_visits_all_nodes(self):
+        kinds = [type(n).__name__ for n in walk(self._expr())]
+        assert "GridRead" in kinds and "Param" in kinds and "Constant" in kinds
+
+    def test_grids_read(self):
+        assert grids_read(self._expr()) == {"u", "v"}
+
+    def test_params_used(self):
+        assert params_used(self._expr()) == {"w"}
+
+    def test_grids_read_finds_nested_component_weights(self):
+        from repro.core.components import Component
+        from repro.core.weights import SparseArray
+
+        beta = Component("beta", SparseArray({(0,): 1.0}))
+        outer = Component("x", SparseArray({(0,): beta, (1,): 2.0}))
+        assert grids_read(outer) == {"x", "beta"}
+
+
+class TestAsExpr:
+    def test_passthrough(self):
+        e = Param("p")
+        assert as_expr(e) is e
+
+    def test_numbers(self):
+        assert as_expr(2.5) == Constant(2.5)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_expr("u")

@@ -1,0 +1,139 @@
+"""Property test: flattening preserves expression semantics.
+
+The oracle is an *independent* recursive evaluator over the raw
+expression tree (never touching the flat form); the subject is the
+python backend, which consumes only the canonical flat form.  Random
+expression trees over random data must agree — this pins down the
+shift-anchoring of expression weights, distribution, division, and
+merging rules all at once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.expr import BinOp, Constant, Expr, GridRead, Neg, Param
+from repro.core.stencil import Stencil
+from repro.core.weights import SparseArray
+
+GRIDS = ("u", "v")
+PARAMS = ("w",)
+
+
+def eval_expr(expr: Expr, point, arrays, params):
+    """Direct recursive evaluation at ``point`` — the oracle."""
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, Param):
+        return params[expr.name]
+    if isinstance(expr, GridRead):
+        idx = tuple(
+            s * i + o for s, i, o in zip(expr.scale, point, expr.offset)
+        )
+        return arrays[expr.grid][idx]
+    if isinstance(expr, Neg):
+        return -eval_expr(expr.operand, point, arrays, params)
+    if isinstance(expr, Component):
+        total = 0.0
+        for off, w in expr.weights:
+            shifted = tuple(
+                s * i + o for s, i, o in zip(expr.scale, point, off)
+            )
+            if isinstance(w, Expr):
+                # weight expressions are anchored at the shifted point
+                wval = eval_expr(w, shifted, arrays, params)
+            else:
+                wval = float(w)
+            total += wval * arrays[expr.grid][shifted]
+        return total
+    if isinstance(expr, BinOp):
+        a = eval_expr(expr.lhs, point, arrays, params)
+        b = eval_expr(expr.rhs, point, arrays, params)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        return a / b
+    raise TypeError(type(expr))
+
+
+@st.composite
+def small_exprs(draw, depth=0):
+    """Random expression trees that always flatten successfully."""
+    if depth >= 3:
+        choice = draw(st.integers(0, 2))
+    else:
+        choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return Constant(draw(st.sampled_from([-2.0, -0.5, 1.0, 3.0])))
+    if choice == 1:
+        return Param("w")
+    if choice == 2:
+        off = draw(
+            st.tuples(st.integers(-1, 1), st.integers(-1, 1))
+        )
+        return GridRead(draw(st.sampled_from(GRIDS)), off)
+    if choice == 3:
+        return Neg(draw(small_exprs(depth=depth + 1)))
+    if choice == 4:
+        # component with a possibly-expression weight
+        off = draw(st.tuples(st.integers(-1, 1), st.integers(-1, 1)))
+        inner = draw(
+            st.one_of(
+                st.sampled_from([0.5, -1.0, 2.0]),
+                small_exprs(depth=3),  # leaf-ish exprs only
+            )
+        )
+        return Component(
+            draw(st.sampled_from(GRIDS)), SparseArray({off: inner})
+        )
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinOp(
+        op,
+        draw(small_exprs(depth=depth + 1)),
+        draw(small_exprs(depth=depth + 1)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=small_exprs(), seed=st.integers(0, 2**16))
+def test_flattened_execution_matches_recursive_oracle(expr, seed):
+    rng = np.random.default_rng(seed)
+    shape = (8, 8)
+    arrays = {g: rng.random(shape) + 0.5 for g in GRIDS}
+    arrays["out"] = np.zeros(shape)
+    params = {"w": 1.25}
+
+    # flat-form execution (domain keeps all reads in bounds: radius <= 2
+    # after one level of component nesting)
+    s = Stencil(expr, "out", RectDomain((3, 3), (-3, -3)))
+    kernel = s.compile(backend="python")
+    work = {g: a.copy() for g, a in arrays.items() if g in s.grids()}
+    needed_params = {p: params[p] for p in s.params()}
+    kernel(**work, **needed_params)
+
+    for point in [(3, 3), (4, 4), (3, 4)]:
+        want = eval_expr(expr, point, arrays, params)
+        got = work["out"][point]
+        assert got == pytest.approx(want, rel=1e-10, abs=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr=small_exprs(), seed=st.integers(0, 2**16))
+def test_division_by_param_matches_oracle(expr, seed):
+    rng = np.random.default_rng(seed)
+    body = expr / Param("w")
+    shape = (8, 8)
+    arrays = {g: rng.random(shape) + 0.5 for g in GRIDS}
+    arrays["out"] = np.zeros(shape)
+    params = {"w": 2.5}
+    s = Stencil(body, "out", RectDomain((3, 3), (-3, -3)))
+    work = {g: a.copy() for g, a in arrays.items() if g in s.grids()}
+    s.compile(backend="python")(**work, **{p: params[p] for p in s.params()})
+    want = eval_expr(body, (3, 3), arrays, params)
+    assert work["out"][3, 3] == pytest.approx(want, rel=1e-10)

@@ -1,0 +1,187 @@
+"""Stencil / StencilGroup / OutputMap semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.expr import GridRead, Param
+from repro.core.stencil import OutputMap, Stencil, StencilGroup
+from repro.core.weights import WeightArray
+
+INTERIOR = RectDomain((1, 1), (-1, -1))
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+
+
+class TestOutputMap:
+    def test_identity(self):
+        om = OutputMap((1, 1), (0, 0))
+        assert om.is_identity()
+        assert om.apply((3, 4)) == (3, 4)
+
+    def test_scaled(self):
+        om = OutputMap((2, 2), (-1, 0))
+        assert not om.is_identity()
+        assert om.apply((3, 4)) == (5, 8)
+
+    def test_scalar_broadcast_needs_ndim(self):
+        with pytest.raises(ValueError):
+            OutputMap(2, 0)
+        om = OutputMap(2, 0, ndim=3)
+        assert om.scale == (2, 2, 2)
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OutputMap((0, 1), (0, 0))
+
+    def test_equality(self):
+        assert OutputMap((2,), (1,)) == OutputMap((2,), (1,))
+
+
+class TestStencilConstruction:
+    def test_canonical_order(self):
+        s = Stencil(LAP, "out", INTERIOR)
+        assert s.output == "out"
+
+    def test_paper_swapped_order_accepted(self):
+        # Fig.4 line 16 writes Stencil("mesh", Component(...), domain)
+        s = Stencil("out", LAP, INTERIOR)
+        assert s.output == "out"
+        assert s.body == LAP
+
+    def test_output_must_be_string(self):
+        with pytest.raises(TypeError):
+            Stencil(LAP, LAP, INTERIOR)
+
+    def test_dimension_mismatch_body_vs_domain(self):
+        with pytest.raises(ValueError):
+            Stencil(LAP, "out", RectDomain((1,), (-1,)))
+
+    def test_output_map_dim_checked(self):
+        with pytest.raises(ValueError):
+            Stencil(LAP, "out", INTERIOR, output_map=OutputMap((2,), (0,)))
+
+    def test_iteration_grid_must_be_string(self):
+        with pytest.raises(TypeError):
+            Stencil(LAP, "out", INTERIOR, iteration_grid=3)
+
+
+class TestStencilQueries:
+    def test_grids_includes_output(self):
+        s = Stencil(LAP, "out", INTERIOR)
+        assert s.grids() == {"u", "out"}
+        assert s.input_grids() == {"u"}
+
+    def test_inplace_detection(self):
+        assert Stencil(LAP, "u", INTERIOR).is_inplace()
+        assert not Stencil(LAP, "out", INTERIOR).is_inplace()
+
+    def test_params(self):
+        s = Stencil(Param("w") * LAP, "out", INTERIOR)
+        assert s.params() == {"w"}
+
+    def test_equality_and_hash(self):
+        a = Stencil(LAP, "out", INTERIOR)
+        b = Stencil(LAP, "out", INTERIOR)
+        assert a == b and hash(a) == hash(b)
+        assert a != Stencil(LAP, "u", INTERIOR)
+
+    def test_signature_includes_iteration_grid(self):
+        s = Stencil(LAP, "out", INTERIOR, iteration_grid="u")
+        assert "@u" in s.signature()
+
+
+class TestStencilGroup:
+    def _two(self):
+        return (
+            Stencil(LAP, "a", INTERIOR, name="s1"),
+            Stencil(Component("a", WeightArray([[1]])), "b", INTERIOR, name="s2"),
+        )
+
+    def test_iteration_len_index(self):
+        g = StencilGroup(self._two())
+        assert len(g) == 2
+        assert g[0].name == "s1"
+        assert [s.name for s in g] == ["s1", "s2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StencilGroup([])
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            StencilGroup([LAP])
+
+    def test_ndim_consistency(self):
+        s1 = Stencil(LAP, "a", INTERIOR)
+        s2 = Stencil(Component("u", WeightArray([1])), "b", RectDomain((1,), (-1,)))
+        with pytest.raises(ValueError):
+            StencilGroup([s1, s2])
+
+    def test_concatenation(self):
+        s1, s2 = self._two()
+        g = StencilGroup([s1]) + s2
+        assert len(g) == 2
+        g2 = g + StencilGroup([s1])
+        assert len(g2) == 3
+
+    def test_grids_and_params_union(self):
+        s1, s2 = self._two()
+        g = StencilGroup([s1, s2])
+        assert g.grids() == {"u", "a", "b"}
+
+
+class TestCompileEntryPoints:
+    def test_stencil_compile_returns_callable(self, rng):
+        s = Stencil(LAP, "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        u = rng.random((8, 8))
+        out = np.zeros((8, 8))
+        k(u=u, out=out)
+        manual = (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+            - 4 * u[1:-1, 1:-1]
+        )
+        np.testing.assert_allclose(out[1:-1, 1:-1], manual)
+
+    def test_unknown_backend(self):
+        s = Stencil(LAP, "out", INTERIOR)
+        with pytest.raises(KeyError):
+            s.compile(backend="fortran-2077")
+
+    def test_shape_specialization_cached(self, rng):
+        s = Stencil(LAP, "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        for shape in ((8, 8), (8, 8), (10, 10)):
+            k(u=rng.random(shape), out=np.zeros(shape))
+        assert k.specializations == 2
+
+    def test_unexpected_kwarg_rejected(self, rng):
+        s = Stencil(LAP, "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        with pytest.raises(TypeError):
+            k(u=rng.random((8, 8)), out=np.zeros((8, 8)), bogus=1)
+
+    def test_missing_grid_rejected(self, rng):
+        from repro.core.validate import ValidationError
+
+        s = Stencil(LAP, "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        with pytest.raises(ValidationError):
+            k(u=rng.random((8, 8)))
+
+    def test_missing_param_rejected(self, rng):
+        from repro.core.validate import ValidationError
+
+        s = Stencil(Param("w") * LAP, "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        with pytest.raises(ValidationError):
+            k(u=rng.random((8, 8)), out=np.zeros((8, 8)))
+
+    def test_param_passed_through(self, rng):
+        s = Stencil(Param("w") * Component("u", WeightArray([[1]])), "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        u = rng.random((6, 6))
+        out = np.zeros((6, 6))
+        k(u=u, out=out, w=2.5)
+        np.testing.assert_allclose(out[1:-1, 1:-1], 2.5 * u[1:-1, 1:-1])

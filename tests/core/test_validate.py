@@ -1,0 +1,118 @@
+"""Static validation: bounds, missing grids, dtype coherence."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.expr import GridRead
+from repro.core.stencil import OutputMap, Stencil, StencilGroup
+from repro.core.validate import (
+    ValidationError,
+    check_group,
+    check_stencil,
+    iteration_shape,
+)
+from repro.core.weights import WeightArray
+
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+INTERIOR = RectDomain((1, 1), (-1, -1))
+
+
+class TestCheckStencil:
+    def test_ok(self):
+        check_stencil(Stencil(LAP, "out", INTERIOR), {"u": (8, 8), "out": (8, 8)})
+
+    def test_missing_output_shape(self):
+        with pytest.raises(ValidationError, match="output grid"):
+            check_stencil(Stencil(LAP, "out", INTERIOR), {"u": (8, 8)})
+
+    def test_missing_input_shape(self):
+        with pytest.raises(ValidationError, match="input grid"):
+            check_stencil(Stencil(LAP, "out", INTERIOR), {"out": (8, 8)})
+
+    def test_read_out_of_bounds(self):
+        full = RectDomain((0, 0), (8, 8))
+        with pytest.raises(ValidationError, match="read"):
+            check_stencil(Stencil(LAP, "out", full), {"u": (8, 8), "out": (8, 8)})
+
+    def test_write_out_of_bounds_with_output_map(self):
+        body = GridRead("c", (0,))
+        s = Stencil(
+            body, "f", RectDomain((0,), (6,)),
+            output_map=OutputMap((2,), (0,), ndim=1),
+            iteration_grid="c",
+        )
+        # sweeps all of c (6 cells): writes at 0..10 but f has 8 cells
+        with pytest.raises(ValidationError, match="write"):
+            check_stencil(s, {"c": (6,), "f": (8,)})
+
+    def test_dimensionality_mismatch(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            check_stencil(Stencil(LAP, "out", INTERIOR), {"u": (8, 8), "out": (8,)})
+
+    def test_input_dim_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_stencil(Stencil(LAP, "out", INTERIOR), {"u": (8,), "out": (8, 8)})
+
+    def test_empty_domain_is_fine(self):
+        tiny = RectDomain((5, 5), (3, 3))
+        check_stencil(Stencil(LAP, "out", tiny), {"u": (8, 8), "out": (8, 8)})
+
+    def test_boundary_stencil_reads_stay_inside(self):
+        # ghost = -inner on the top face
+        body = -1.0 * GridRead("u", (1, 0))
+        s = Stencil(body, "u", RectDomain((0, 1), (1, -1), (0, 1)))
+        check_stencil(s, {"u": (8, 8)})
+
+    def test_check_group_covers_all(self):
+        good = Stencil(LAP, "out", INTERIOR)
+        bad = Stencil(LAP, "out", RectDomain((0, 0), (-1, -1)))
+        with pytest.raises(ValidationError):
+            check_group(StencilGroup([good, bad]), {"u": (8, 8), "out": (8, 8)})
+
+
+class TestIterationShape:
+    def test_identity_uses_output(self):
+        s = Stencil(LAP, "out", INTERIOR)
+        assert iteration_shape(s, {"u": (8, 8), "out": (8, 8)}) == (8, 8)
+
+    def test_explicit_iteration_grid(self):
+        body = GridRead("c", (0,)) + GridRead("f", (0,), scale=(2,))
+        s = Stencil(
+            body, "f", RectDomain((1,), (-1,)),
+            output_map=OutputMap((2,), (0,), ndim=1),
+            iteration_grid="c",
+        )
+        assert iteration_shape(s, {"c": (6,), "f": (12,)}) == (6,)
+
+    def test_missing_iteration_grid(self):
+        s = Stencil(GridRead("c", (0,)), "f", RectDomain((0,), (2,)),
+                    iteration_grid="zzz")
+        with pytest.raises(ValidationError, match="iteration grid"):
+            iteration_shape(s, {"c": (6,), "f": (6,)})
+
+    def test_scaled_fallback_counts_inbounds_writes(self):
+        s = Stencil(
+            GridRead("c", (0,)), "f", RectDomain((0,), (100,)),
+            output_map=OutputMap((2,), (0,), ndim=1),
+        )
+        # writes 2i < 9 -> i in [0, 5)
+        assert iteration_shape(s, {"c": (9,), "f": (9,)}) == (5,)
+
+
+class TestCallTimeValidation:
+    def test_mixed_dtypes_rejected(self, rng):
+        s = Stencil(LAP, "out", INTERIOR)
+        k = s.compile(backend="numpy")
+        with pytest.raises(ValidationError, match="mixed dtypes"):
+            k(u=rng.random((8, 8)), out=np.zeros((8, 8), dtype=np.float32))
+
+    def test_float32_supported_end_to_end(self, rng):
+        s = Stencil(LAP, "out", INTERIOR)
+        u = rng.random((8, 8)).astype(np.float32)
+        out32 = np.zeros((8, 8), dtype=np.float32)
+        s.compile(backend="c")(u=u, out=out32)
+        out64 = np.zeros((8, 8))
+        s.compile(backend="numpy")(u=u.astype(np.float64), out=out64)
+        np.testing.assert_allclose(out32, out64, rtol=1e-5, atol=1e-6)

@@ -1,0 +1,84 @@
+"""SimComm: the simulated message-passing fabric."""
+
+import numpy as np
+import pytest
+
+from repro.dmem.comm import CommError, SimComm
+
+
+class TestWorld:
+    def test_world_construction(self):
+        world = SimComm.world(4)
+        assert [c.Get_rank() for c in world] == [0, 1, 2, 3]
+        assert all(c.Get_size() == 4 for c in world)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            SimComm.world(0)
+
+
+class TestSendRecv:
+    def test_roundtrip_copies(self):
+        w = SimComm.world(2)
+        a = np.arange(4.0)
+        w[0].send(a, dest=1, tag=7)
+        a[0] = 99.0  # mutation after send must not leak (copy-out)
+        got = w[1].recv(source=0, tag=7)
+        np.testing.assert_array_equal(got, [0, 1, 2, 3])
+
+    def test_fifo_per_channel(self):
+        w = SimComm.world(2)
+        w[0].send(np.array([1.0]), 1, tag=0)
+        w[0].send(np.array([2.0]), 1, tag=0)
+        assert w[1].recv(0, tag=0)[0] == 1.0
+        assert w[1].recv(0, tag=0)[0] == 2.0
+
+    def test_tags_are_separate_channels(self):
+        w = SimComm.world(2)
+        w[0].send(np.array([1.0]), 1, tag=5)
+        w[0].send(np.array([2.0]), 1, tag=6)
+        assert w[1].recv(0, tag=6)[0] == 2.0
+        assert w[1].recv(0, tag=5)[0] == 1.0
+
+    def test_missing_message_is_deadlock(self):
+        w = SimComm.world(2)
+        with pytest.raises(CommError, match="deadlock"):
+            w[1].recv(source=0, tag=0)
+
+    def test_self_send_rejected(self):
+        w = SimComm.world(2)
+        with pytest.raises(CommError):
+            w[0].send(np.zeros(1), dest=0)
+
+    def test_rank_range_checked(self):
+        w = SimComm.world(2)
+        with pytest.raises(CommError):
+            w[0].send(np.zeros(1), dest=5)
+        with pytest.raises(CommError):
+            w[0].recv(source=-1)
+
+    def test_sendrecv_pair(self):
+        w = SimComm.world(2)
+        w[1].send(np.array([10.0]), 0, tag=3)
+        got = w[0].sendrecv(np.array([20.0]), dest=1, recvsource=1, tag=3)
+        assert got[0] == 10.0
+        assert w[1].recv(0, tag=3)[0] == 20.0
+
+
+class TestAccounting:
+    def test_stats(self):
+        w = SimComm.world(3)
+        w[0].send(np.zeros(10), 1)
+        w[1].send(np.zeros(5), 2)
+        assert w[2].stats.messages == 2
+        assert w[0].stats.bytes_sent == 15 * 8
+        w[0].barrier()
+        assert w[1].stats.barriers == 1
+
+    def test_pending_messages(self):
+        w = SimComm.world(2)
+        assert w[0].pending_messages() == 0
+        w[0].send(np.zeros(1), 1)
+        assert w[1].pending_messages() == 1
+        w[1].recv(0)
+        assert w[1].pending_messages() == 0

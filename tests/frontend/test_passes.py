@@ -1,0 +1,99 @@
+"""Pass manager and built-in passes."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.validate import ValidationError
+from repro.core.weights import WeightArray
+from repro.frontend import (
+    DeadStencilElimination,
+    GroupPass,
+    PassManager,
+    Reorder,
+    Validate,
+    default_pipeline,
+    optimize_group,
+)
+
+INTERIOR = RectDomain((1, 1), (-1, -1))
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+
+
+def messy_group():
+    """dead scratch + a chain interleaved with an independent stencil."""
+    a1 = Stencil(LAP, "a", INTERIOR, name="a1")
+    a2 = Stencil(Component("a", WeightArray([[1]])), "a2", INTERIOR, name="a2")
+    dead = Stencil(LAP, "scratch", INTERIOR, name="dead")
+    b = Stencil(Component("v", WeightArray([[1]])), "b", INTERIOR, name="b")
+    return StencilGroup([a1, a2, dead, b])
+
+
+def shapes_of(g, shape=(12, 12)):
+    return {k: shape for k in g.grids()}
+
+
+class TestPassManager:
+    def test_default_pipeline_eliminates_and_reorders(self):
+        g = messy_group()
+        pm = default_pipeline()
+        out = pm.run(g, shapes_of(g), live_grids={"a2", "b"})
+        names = [s.name for s in out]
+        assert "dead" not in names
+        assert names.index("a1") < names.index("a2")
+        # records capture the shrink
+        rec = {r.name: r for r in pm.records}
+        assert rec["dead-stencil-elimination"].stencils_after == 3
+
+    def test_report_format(self):
+        pm = default_pipeline()
+        g = messy_group()
+        pm.run(g, shapes_of(g), live_grids={"a2", "b"})
+        rep = pm.report()
+        assert "dead-stencil-elimination" in rep
+        assert "->" in rep
+
+    def test_phase_count_never_increases(self):
+        from repro.analysis.dag import greedy_phases
+
+        g = messy_group()
+        shapes = shapes_of(g)
+        before = len(greedy_phases(g, shapes))
+        out = optimize_group(g, shapes, live_grids={"a2", "b"})
+        after = len(greedy_phases(out, shapes))
+        assert after <= before
+
+    def test_validate_pass_catches_broken_custom_pass(self):
+        class Breaker(GroupPass):
+            name = "breaker"
+
+            def run(self, group, shapes, live_grids):
+                # produce a stencil reading out of bounds
+                bad = Stencil(LAP, "u", RectDomain((0, 0), (-1, -1)))
+                return StencilGroup([bad])
+
+        pm = PassManager([Breaker()], validate_each=True)
+        g = messy_group()
+        with pytest.raises(ValidationError):
+            pm.run(g, shapes_of(g))
+
+    def test_default_live_set_is_conservative(self):
+        g = messy_group()
+        out = optimize_group(g, shapes_of(g))  # everything live
+        assert len(out) == len(g)
+
+    def test_optimized_group_computes_same_live_results(self, rng):
+        g = messy_group()
+        shapes = shapes_of(g)
+        out = optimize_group(g, shapes, live_grids={"a2", "b"})
+        arrays = {k: np.zeros((12, 12)) for k in g.grids()}
+        arrays["u"] = rng.random((12, 12))
+        arrays["v"] = rng.random((12, 12))
+        r1 = {k: v.copy() for k, v in arrays.items()}
+        g.compile(backend="numpy")(**{k: r1[k] for k in g.grids()})
+        r2 = {k: v.copy() for k, v in arrays.items()}
+        out.compile(backend="numpy")(**{k: r2[k] for k in out.grids()})
+        np.testing.assert_array_equal(r1["a2"], r2["a2"])
+        np.testing.assert_array_equal(r1["b"], r2["b"])

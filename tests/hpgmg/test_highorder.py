@@ -1,0 +1,269 @@
+"""Higher-order / compact operators, multicolor smoothing, exotic BCs."""
+
+import numpy as np
+import pytest
+
+from _helpers import run_group
+from repro.analysis import is_parallel_safe
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.weights import SparseArray
+from repro.hpgmg.highorder import (
+    cc_laplacian_4th,
+    compact_diagonal,
+    compact_laplacian,
+    multicolor_smooth_group,
+)
+from repro.hpgmg.operators import (
+    boundary_stencils_full,
+    periodic_boundary_stencils,
+    red_black_domains,
+)
+
+
+class TestFourthOrderStar:
+    def test_annihilates_cubics(self, rng):
+        # exact for polynomials up to degree 3 per dim: A(x^3) has only
+        # the analytic second-derivative content, and A(const)=0.
+        n = 16
+        h = 1.0 / n
+        xs = (np.arange(n + 4) - 0.5) * h  # 2-deep halo
+        u = np.tile(xs**3, (n + 4, 1))
+        s = Stencil(cc_laplacian_4th(2, h, grid="u"), "out",
+                    RectDomain((2, 2), (-2, -2)))
+        got = run_group(s, {"u": u, "out": np.zeros_like(u)})["out"]
+        # A = -d2/dx2 - d2/dy2 (positive-definite sign): -(6x)
+        interior = got[2:-2, 2:-2]
+        want = -6.0 * xs[2:-2][None, :].repeat(n, 0)
+        np.testing.assert_allclose(interior, want, rtol=1e-8, atol=1e-8)
+
+    def test_radius_is_two(self):
+        from repro.core.flatten import flatten_expr
+
+        flat = flatten_expr(cc_laplacian_4th(3, 0.1))
+        assert flat.radius() == 2
+        assert len(flat.reads()) == 13  # the 13-point star
+
+    def test_fourth_order_convergence_on_sine(self):
+        # error of A_h u vs analytic shrinks ~16x per mesh halving
+        errs = []
+        for n in (8, 16, 32):
+            h = 1.0 / n
+            xs = (np.arange(n + 4) - 1.5) * h
+            u = np.sin(np.pi * xs)[None, :].repeat(n + 4, 0)
+            s = Stencil(cc_laplacian_4th(2, h, grid="u"), "out",
+                        RectDomain((2, 2), (-2, -2)))
+            got = run_group(s, {"u": u, "out": np.zeros_like(u)})["out"]
+            want = (np.pi**2) * np.sin(np.pi * xs)[None, :].repeat(n + 4, 0)
+            errs.append(
+                np.max(np.abs(got[2:-2, 2:-2] - want[2:-2, 2:-2]))
+            )
+        assert errs[0] / errs[1] > 10
+        assert errs[1] / errs[2] > 10
+
+
+class TestCompactOperator:
+    def test_zero_row_sum(self, rng):
+        s = Stencil(compact_laplacian(2, 0.1, grid="u"), "out",
+                    RectDomain((1, 1), (-1, -1)))
+        got = run_group(
+            s, {"u": np.ones((10, 10)), "out": np.zeros((10, 10))}
+        )["out"]
+        np.testing.assert_allclose(got[1:-1, 1:-1], 0.0, atol=1e-12)
+
+    def test_touches_full_box(self):
+        from repro.core.flatten import flatten_expr
+
+        assert len(flatten_expr(compact_laplacian(2, 0.1)).reads()) == 9
+        assert len(flatten_expr(compact_laplacian(3, 0.1)).reads()) == 27
+
+    def test_approximates_laplacian(self):
+        n = 32
+        h = 1.0 / n
+        xs = (np.arange(n + 2) - 0.5) * h
+        u = np.sin(np.pi * xs)[:, None] * np.sin(np.pi * xs)[None, :]
+        s = Stencil(compact_laplacian(2, h, grid="u"), "out",
+                    RectDomain((1, 1), (-1, -1)))
+        got = run_group(s, {"u": u, "out": np.zeros_like(u)})["out"]
+        want = 2 * np.pi**2 * u
+        err = np.max(np.abs(got[2:-2, 2:-2] - want[2:-2, 2:-2]))
+        assert err < 0.05 * np.max(np.abs(want))
+
+    def test_unsupported_ndim(self):
+        with pytest.raises(ValueError):
+            compact_laplacian(4, 0.1)
+        with pytest.raises(ValueError):
+            compact_diagonal(1, 0.1)
+
+
+class TestMulticolorSmoothing:
+    def test_red_black_insufficient_for_compact(self):
+        # the analysis result motivating 4-coloring (paper Fig.3b)
+        Ax = compact_laplacian(2, 0.1)
+        red, _ = red_black_domains(2)
+        from repro.core.expr import Constant
+
+        x = Component("x", SparseArray({(0, 0): 1.0}))
+        b = Component("rhs", SparseArray({(0, 0): 1.0}))
+        body = x + Constant(0.001) * (b - Ax)
+        s = Stencil(body, "x", red)
+        shapes = {g: (14, 14) for g in s.grids()}
+        assert not is_parallel_safe(s, shapes)
+
+    def test_four_coloring_is_safe(self):
+        Ax = compact_laplacian(2, 0.1)
+        group = multicolor_smooth_group(
+            2, Ax, lam=0.001, with_boundaries=False
+        )
+        shapes = {g: (14, 14) for g in group.grids()}
+        for s in group:
+            assert is_parallel_safe(s, shapes)
+
+    def test_eight_coloring_3d_safe(self):
+        Ax = compact_laplacian(3, 0.25)
+        group = multicolor_smooth_group(
+            3, Ax, lam=0.001, with_boundaries=False
+        )
+        assert len(group) == 8
+        shapes = {g: (8, 8, 8) for g in group.grids()}
+        for s in group:
+            assert is_parallel_safe(s, shapes)
+
+    def test_colors_partition_and_update_everything(self, rng):
+        Ax = compact_laplacian(2, 1 / 12)
+        group = multicolor_smooth_group(
+            2, Ax, lam=compact_diagonal(2, 1 / 12) ** -1,
+            with_boundaries=False,
+        )
+        shape = (14, 14)
+        x = rng.random(shape)
+        got = run_group(group, {"x": x, "rhs": rng.random(shape)})["x"]
+        assert (got[1:-1, 1:-1] != x[1:-1, 1:-1]).all()
+
+    def test_compact_smoother_converges_with_full_boundaries(self, rng):
+        n = 16
+        h = 1.0 / n
+        shape = (n + 2, n + 2)
+        Ax = compact_laplacian(2, h)
+        lam = 1.0 / compact_diagonal(2, h)
+        smooth = StencilGroup(
+            boundary_stencils_full(2, "x")
+            + list(
+                multicolor_smooth_group(2, Ax, lam=lam, with_boundaries=False)
+            )
+        )
+        rhs = np.zeros(shape)
+        rhs[1:-1, 1:-1] = 1.0
+        arrays = {"x": np.zeros(shape), "rhs": rhs}
+        kernel = smooth.compile(backend="c")
+        for _ in range(300):
+            kernel(**arrays)
+        u = arrays["x"][1:-1, 1:-1]
+        assert u.min() > 0  # diffusion of a positive source
+        assert u.max() < 1.0  # bounded (no blow-up: smoother is stable)
+
+    def test_all_backends_agree_on_multicolor(self, rng):
+        from _helpers import assert_backends_agree
+
+        Ax = compact_laplacian(2, 1 / 12)
+        group = multicolor_smooth_group(
+            2, Ax, lam=0.002, with_boundaries=True
+        )
+        arrays = {g: rng.random((14, 14)) for g in group.grids()}
+        assert_backends_agree(group, arrays)
+
+
+class TestFullBoundaries:
+    def test_counts(self):
+        assert len(boundary_stencils_full(2, "u")) == 4 + 4
+        assert len(boundary_stencils_full(3, "u")) == 6 + 12 + 8
+
+    def test_corner_value_double_reflection(self, rng):
+        g = StencilGroup(boundary_stencils_full(2, "u"))
+        u = rng.random((8, 8))
+        got = run_group(g, {"u": u})["u"]
+        # corner = -edge_ghost = +interior corner cell
+        assert got[0, 0] == pytest.approx(got[1, 1])
+        assert got[-1, -1] == pytest.approx(got[-2, -2])
+
+    def test_dependence_orders_faces_before_corners(self):
+        from repro.analysis import plan
+
+        g = StencilGroup(boundary_stencils_full(2, "u"))
+        exec_plan = plan(g, {"u": (8, 8)})
+        # faces (first 4) in an earlier phase than the corners
+        assert set(exec_plan.phases[0]) == {0, 1, 2, 3}
+        assert exec_plan.n_barriers >= 1
+
+    def test_3d_edges_then_corners(self, rng):
+        g = StencilGroup(boundary_stencils_full(3, "u"))
+        u = rng.random((6, 6, 6))
+        got = run_group(g, {"u": u}, backend="c")["u"]
+        # 3-D corner is the triple reflection of the interior corner
+        assert got[0, 0, 0] == pytest.approx(-got[1, 1, 1])
+
+
+class TestPeriodicBoundaries:
+    def test_wraparound_values(self, rng):
+        from repro.core.stencil import StencilGroup
+
+        n = 6
+        g = StencilGroup(periodic_boundary_stencils(2, n, "u"))
+        u = rng.random((n + 2, n + 2))
+        ref = u.copy()
+        got = run_group(g, {"u": u})["u"]
+        np.testing.assert_allclose(got[0, 1:-1], ref[n, 1:-1])
+        np.testing.assert_allclose(got[n + 1, 1:-1], ref[1, 1:-1])
+        np.testing.assert_allclose(got[1:-1, 0], ref[1:-1, n])
+
+    def test_periodic_stencils_are_safe_inplace(self):
+        g = periodic_boundary_stencils(2, 6, "u")
+        for s in g:
+            assert is_parallel_safe(s, {"u": (8, 8)})
+
+    def test_periodic_heat_preserves_mean(self, rng):
+        # explicit diffusion step with periodic BCs conserves total heat
+        n = 12
+        from repro.core.weights import WeightArray
+
+        diff = Component(
+            "u",
+            WeightArray(
+                [[0, 0.1, 0], [0.1, 0.6, 0.1], [0, 0.1, 0]]
+            ),
+        )
+        step = StencilGroup(
+            periodic_boundary_stencils(2, n, "u")
+            + [Stencil(diff, "tmp", RectDomain((1, 1), (-1, -1)))]
+        )
+        u = np.zeros((n + 2, n + 2))
+        u[1:-1, 1:-1] = rng.random((n, n))
+        arrays = {"u": u, "tmp": np.zeros_like(u)}
+        kernel = step.compile(backend="c")
+        mean0 = arrays["u"][1:-1, 1:-1].mean()
+        for _ in range(5):
+            kernel(**arrays)
+            arrays["u"], arrays["tmp"] = arrays["tmp"], arrays["u"]
+            # keep dict identity stable for next call
+        assert arrays["u"][1:-1, 1:-1].mean() == pytest.approx(mean0)
+
+    def test_matches_np_roll_laplacian(self, rng):
+        from repro.core.weights import WeightArray
+
+        n = 10
+        lap = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+        step = StencilGroup(
+            periodic_boundary_stencils(2, n, "u")
+            + [Stencil(lap, "out", RectDomain((1, 1), (-1, -1)))]
+        )
+        u_int = rng.random((n, n))
+        u = np.zeros((n + 2, n + 2))
+        u[1:-1, 1:-1] = u_int
+        got = run_group(step, {"u": u, "out": np.zeros_like(u)})["out"]
+        want = (
+            np.roll(u_int, 1, 0) + np.roll(u_int, -1, 0)
+            + np.roll(u_int, 1, 1) + np.roll(u_int, -1, 1)
+            - 4 * u_int
+        )
+        np.testing.assert_allclose(got[1:-1, 1:-1], want, atol=1e-13)

@@ -1,0 +1,48 @@
+"""docs/API.md stays in sync with the package's public surface."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+API_MD = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"
+
+
+def public_modules():
+    for m in pkgutil.walk_packages(repro.__path__, "repro."):
+        if not m.name.endswith("__main__"):
+            yield m.name
+
+
+def test_api_doc_exists():
+    assert API_MD.exists(), "regenerate docs/API.md"
+
+
+def test_every_module_documented():
+    text = API_MD.read_text()
+    missing = [m for m in public_modules() if f"## `{m}`" not in text]
+    assert not missing, f"docs/API.md missing modules: {missing}"
+
+
+def test_every_export_documented():
+    text = API_MD.read_text()
+    missing = []
+    for mod in public_modules():
+        m = importlib.import_module(mod)
+        for name in getattr(m, "__all__", []):
+            if f"`{name}`" not in text:
+                missing.append(f"{mod}.{name}")
+    assert not missing, f"docs/API.md missing exports: {missing}"
+
+
+def test_no_stale_modules_listed():
+    import re
+
+    text = API_MD.read_text()
+    listed = set(re.findall(r"^## `([\w.]+)`", text, re.M))
+    actual = set(public_modules())
+    stale = listed - actual
+    assert not stale, f"docs/API.md lists removed modules: {stale}"

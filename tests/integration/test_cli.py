@@ -1,0 +1,45 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_info():
+    proc = run_cli("info")
+    assert proc.returncode == 0
+    assert "repro-snowflake" in proc.stdout
+    assert "backends:" in proc.stdout
+    assert "compiler:" in proc.stdout
+
+
+def test_selftest_passes():
+    proc = run_cli("selftest")
+    assert proc.returncode == 0
+    assert "PASS" in proc.stdout
+    assert "MISMATCH" not in proc.stdout
+
+
+def test_requires_a_command():
+    proc = run_cli()
+    assert proc.returncode != 0
+
+
+def test_figures_passthrough():
+    proc = run_cli("figures", "fig6", "--repeats", "1", timeout=600)
+    assert proc.returncode == 0
+    assert "STREAM" in proc.stdout
+
+
+def test_in_process_main():
+    from repro.__main__ import main
+
+    assert main(["selftest"]) == 0

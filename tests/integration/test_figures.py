@@ -1,0 +1,119 @@
+"""Figure harness integration: structure and paper-shape assertions.
+
+Timing magnitudes are machine-dependent; these tests check (a) the
+harness runs end to end, (b) the tables have the right structure, and
+(c) the *model-side* numbers reproduce the paper's qualitative claims
+(who wins, by roughly what factor, where the crossovers are).
+"""
+
+import pytest
+
+from repro.figures import common, fig6, fig7, fig8, fig9
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", common.OPERATORS)
+    def test_build_case_runs_on_numpy(self, name):
+        case = common.build_case(name, 8)
+        case.compile("numpy")()
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            common.build_case("fft", 8)
+        with pytest.raises(ValueError):
+            common.operator_work("fft", 8)
+
+    def test_operator_work_traffic(self):
+        w = common.operator_work("vc_gsrb", 64)
+        assert w.points == 64**3
+        assert w.bytes_per_point == 64.0
+        assert w.launches == 14
+
+
+class TestFig6:
+    def test_rows_structure(self):
+        headers, rows = fig6.run(sizes=(2**16,), repeats=1)
+        assert headers[0].startswith("N")
+        flavors = {r[1] for r in rows}
+        assert {"c", "openmp", "numpy"} <= flavors
+        assert any("paper" in str(r[3]) for r in rows)
+
+
+class TestFig7:
+    def test_model_rows_reproduce_paper_shape(self):
+        rows = fig7.model_paper_platforms(n=256)
+        by = {(r["platform"], r["operator"]): r for r in rows}
+        cpu_gsrb = by[("Core i7-4765T", "vc_gsrb")]
+        gpu_gsrb = by[("K20c GPU", "vc_gsrb")]
+        # CPU: Snowflake within ~10% of hand-optimized and below roofline
+        assert cpu_gsrb["snowflake"] / cpu_gsrb["hpgmg"] > 0.85
+        assert cpu_gsrb["snowflake"] <= cpu_gsrb["roofline"]
+        # GPU: Snowflake OpenCL about half of CUDA (the 2x claim)
+        ratio = gpu_gsrb["hpgmg"] / gpu_gsrb["snowflake"]
+        assert 1.5 < ratio < 2.5
+        # operator ordering: 7pt > jacobi > gsrb stencil rates (24<40<64 B)
+        cpu = {k[1]: v for k, v in by.items() if k[0] == "Core i7-4765T"}
+        assert cpu["cc_7pt"]["roofline"] > cpu["cc_jacobi"]["roofline"]
+        assert cpu["cc_jacobi"]["roofline"] > cpu["vc_gsrb"]["roofline"]
+
+    def test_measured_rows_run(self):
+        rows = fig7.measure_host(n=8, repeats=1, backend="c")
+        assert {r["operator"] for r in rows} == set(common.OPERATORS)
+        assert all(r["snowflake"] > 0 for r in rows)
+
+
+class TestFig8:
+    def test_paper_shapes(self):
+        headers, rows = fig8.run(host_sizes=(), model_sizes=(32, 64, 128, 256))
+        model = [r for r in rows if r[-1] == "model"]
+        cpu = {r[1]: r for r in model if r[0].startswith("Core")}
+        gpu = {r[1]: r for r in model if r[0].startswith("K20c")}
+        # runtime decreases with problem size (reading up the ladder)
+        assert cpu["32^3"][2] < cpu["64^3"][2] < cpu["128^3"][2] < cpu["256^3"][2]
+        # CPU 32^3 beats the DRAM roofline (cache residency)
+        assert cpu["32^3"][2] < cpu["32^3"][4]
+        # larger CPU sizes sit above (slower than) the bound
+        assert cpu["256^3"][2] > cpu["256^3"][4]
+        # GPU flattens at small sizes: 32^3 ~ 64^3 (launch bound)
+        assert gpu["64^3"][2] / gpu["32^3"][2] < 2.0
+        # but GPU wins at 256^3
+        assert gpu["256^3"][2] < cpu["256^3"][2]
+
+    def test_host_rows_run(self):
+        headers, rows = fig8.run(host_sizes=(8,), model_sizes=(), repeats=1,
+                                 backend="c")
+        assert rows[0][0] == "host"
+        assert rows[0][2] > 0
+
+
+class TestFig9:
+    def test_vcycle_work_covers_all_levels(self):
+        works = fig9.vcycle_work(32)
+        # levels 32,16,8,4,2: smooth work on each + transfer ops between
+        assert len(works) == 5 + 4 * 3
+
+    def test_model_gmg_matches_paper_magnitudes(self):
+        from repro.machine.model import IMPLEMENTATIONS
+        from repro.machine.specs import I7_4765T, K20C
+
+        cycles = 10
+        dof = 256**3
+        t_cpu = fig9.model_gmg_time(
+            I7_4765T, IMPLEMENTATIONS["hpgmg-openmp"], 256, cycles
+        )
+        cpu_dofs = dof / t_cpu
+        # paper Fig.9: ~12-14 MDOF/s on the i7 — allow a generous band
+        assert 8e6 < cpu_dofs < 20e6
+        t_sf_gpu = fig9.model_gmg_time(
+            K20C, IMPLEMENTATIONS["snowflake-opencl"], 256, cycles
+        )
+        t_cuda = fig9.model_gmg_time(
+            K20C, IMPLEMENTATIONS["hpgmg-cuda"], 256, cycles
+        )
+        # "roughly half the performance of hand-optimized CUDA"
+        assert 1.5 < t_sf_gpu / t_cuda < 2.6
+
+    def test_run_structure_small(self):
+        headers, rows = fig9.run(n=8, cycles=2, model_n=64)
+        assert rows[0][0] == "host"
+        assert len(rows) == 3

@@ -1,0 +1,71 @@
+"""Figure mains render complete tables (cheap sizes)."""
+
+import pytest
+
+from repro.figures import fig6, fig7, fig8, fig9
+from repro.figures.common import DEFAULT_SIZE, OPERATORS, build_case, operator_work
+from repro.machine.model import KernelWork, predict_sweep_time
+from repro.machine.specs import I7_4765T
+
+
+class TestMains:
+    def test_fig6_main_renders(self, capsys):
+        fig6.main(sizes=(2**14,), repeats=1)
+        out = capsys.readouterr().out
+        assert "Fig.6" in out and "GB/s" in out
+
+    def test_fig7_main_renders(self, capsys):
+        fig7.main(n=8, model_n=64, repeats=1)
+        out = capsys.readouterr().out
+        assert "Fig.7" in out
+        for op in OPERATORS:
+            assert op in out
+
+    def test_fig8_main_renders(self, capsys):
+        fig8.main(host_sizes=(8,), model_sizes=(32,), repeats=1)
+        out = capsys.readouterr().out
+        assert "Fig.8" in out and "32^3" in out
+
+    def test_fig9_main_renders(self, capsys):
+        fig9.main(n=8, cycles=1, model_n=32)
+        out = capsys.readouterr().out
+        assert "Fig.9" in out and "MDOF/s" in out
+
+
+class TestWorkloadProperties:
+    def test_default_size_is_laptop_scale(self):
+        assert DEFAULT_SIZE <= 128
+
+    @pytest.mark.parametrize("name", OPERATORS)
+    def test_case_seeds_are_deterministic(self, name):
+        a = build_case(name, 8)
+        b = build_case(name, 8)
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            a.level.grids["x"], b.level.grids["x"]
+        )
+
+    def test_work_scales_cubically(self):
+        small = operator_work("vc_gsrb", 16)
+        big = operator_work("vc_gsrb", 32)
+        assert big.points == 8 * small.points
+        assert big.bytes_per_point == small.bytes_per_point
+
+    def test_model_time_monotone_in_points(self):
+        from repro.machine.model import IMPLEMENTATIONS
+
+        impl = IMPLEMENTATIONS["hpgmg-openmp"]
+        times = [
+            predict_sweep_time(I7_4765T, impl, operator_work("vc_gsrb", n))
+            for n in (16, 32, 64, 128)
+        ]
+        assert times == sorted(times)
+
+    def test_vcycle_work_total_traffic_geometric(self):
+        # coarse levels add ~1/(2^d - 1) of the fine level's traffic
+        works64 = fig9.vcycle_work(64)
+        works32 = fig9.vcycle_work(32)
+        t64 = sum(w.points * w.bytes_per_point for w in works64)
+        t32 = sum(w.points * w.bytes_per_point for w in works32)
+        assert 6.0 < t64 / t32 < 9.0

@@ -1,0 +1,100 @@
+"""One StencilGroup spanning two multigrid levels (mixed grid shapes).
+
+Cross-grid groups are where the DSL's "multiple input and output
+meshes" generality (paper SectionII) meets the analysis: a single group
+holds boundary + residual on the fine grid *and* the restriction onto
+the coarse grid, whose shapes differ.  Dependences, planning, and every
+backend must handle the mixed-shape group as one compiled unit.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import ALL_BACKENDS, run_group
+from repro.analysis import group_dependences, plan
+from repro.core.stencil import StencilGroup
+from repro.hpgmg.operators import (
+    boundary_stencils,
+    residual_group,
+    residual_stencil,
+    restriction_stencil,
+    vc_laplacian,
+)
+
+NF, NC = 16, 8
+FINE = (NF + 2, NF + 2)
+COARSE = (NC + 2, NC + 2)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    ndim = 2
+    Ax = vc_laplacian(ndim, 1.0 / NF)
+    stencils = boundary_stencils(ndim, "x")
+    stencils.append(residual_stencil(ndim, Ax))
+    stencils.append(restriction_stencil(ndim))  # res -> coarse_rhs
+    return StencilGroup(stencils, name="pre_coarsen")
+
+
+def shapes_for(group):
+    return {
+        g: (COARSE if g.startswith("coarse") else FINE)
+        for g in group.grids()
+    }
+
+
+def make_arrays(rng, group):
+    arrays = {}
+    for g in group.grids():
+        shape = COARSE if g.startswith("coarse") else FINE
+        arrays[g] = rng.random(shape)
+    return arrays
+
+
+class TestAnalysisAcrossShapes:
+    def test_restriction_depends_on_residual(self, pipeline):
+        deps = group_dependences(pipeline, shapes_for(pipeline))
+        res_i = next(
+            i for i, s in enumerate(pipeline) if s.name.startswith("residual")
+        )
+        restrict_i = next(
+            i for i, s in enumerate(pipeline) if s.name == "restrict"
+        )
+        assert "RAW" in deps[(res_i, restrict_i)]
+
+    def test_plan_orders_bc_residual_restrict(self, pipeline):
+        p = plan(pipeline, shapes_for(pipeline))
+        # phases: [bc x4] [residual] [restrict]
+        assert [len(ph) for ph in p.phases] == [4, 1, 1]
+
+
+class TestExecutionAcrossShapes:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_every_backend_runs_the_mixed_group(self, pipeline, backend, rng):
+        arrays = make_arrays(rng, pipeline)
+        ref = run_group(pipeline, arrays, backend="python")
+        got = run_group(pipeline, arrays, backend=backend)
+        for g in ref:
+            np.testing.assert_allclose(
+                got[g], ref[g], rtol=1e-12, atol=1e-13,
+                err_msg=f"{backend}: {g}",
+            )
+
+    def test_coarse_rhs_is_average_of_fine_residual(self, pipeline, rng):
+        arrays = make_arrays(rng, pipeline)
+        got = run_group(pipeline, arrays, backend="c")
+        res = got["res"]
+        manual = 0.25 * (
+            res[1:-1:2, 1:-1:2] + res[2:-1:2, 1:-1:2]
+            + res[1:-1:2, 2:-1:2] + res[2:-1:2, 2:-1:2]
+        )
+        np.testing.assert_allclose(
+            got["coarse_rhs"][1:-1, 1:-1], manual, atol=1e-13
+        )
+
+    def test_fused_option_harmless_on_mixed_shapes(self, pipeline, rng):
+        arrays = make_arrays(rng, pipeline)
+        a = run_group(pipeline, arrays, backend="c")
+        b = run_group(pipeline, arrays, backend="c", fuse=True)
+        for g in a:
+            np.testing.assert_allclose(b[g], a[g], atol=1e-14)

@@ -1,0 +1,45 @@
+"""Tile-size autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.weights import WeightArray
+from repro.tuning import TuneResult, autotune_tile
+
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+
+
+def make_case(n=64):
+    s = Stencil(LAP, "out", RectDomain((1, 1), (-1, -1)))
+    rng = np.random.default_rng(0)
+    arrays = {"u": rng.random((n, n)), "out": np.zeros((n, n))}
+    return StencilGroup([s]), arrays
+
+
+class TestAutotune:
+    def test_returns_best_of_candidates(self):
+        group, arrays = make_case()
+        res = autotune_tile(group, arrays, candidates=(4, 16), repeats=1)
+        assert res.best_tile in (4, 16)
+        assert set(res.timings) == {4, 16}
+        assert res.timings[res.best_tile] == min(res.timings.values())
+
+    def test_timings_positive(self):
+        group, arrays = make_case()
+        res = autotune_tile(group, arrays, candidates=(8,), repeats=1)
+        assert all(t > 0 for t in res.timings.values())
+
+    def test_speedup_metric(self):
+        r = TuneResult(best_tile=4, timings={4: 1.0, 8: 2.0})
+        assert r.speedup_over_worst() == 2.0
+
+    def test_openmp_backend_and_options_flow_through(self):
+        group, arrays = make_case(32)
+        res = autotune_tile(
+            group, arrays, backend="openmp", candidates=(8,), repeats=1,
+            multicolor=False,
+        )
+        assert res.best_tile == 8

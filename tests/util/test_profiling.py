@@ -1,0 +1,66 @@
+"""Per-stencil profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.weights import WeightArray
+from repro.util.profiling import format_profile, profile_group
+
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+
+
+def make_group():
+    big = Stencil(LAP, "a", RectDomain((1, 1), (-1, -1)), name="big")
+    tiny = Stencil(LAP, "b", RectDomain((1, 1), (4, 4)), name="tiny")
+    return StencilGroup([big, tiny])
+
+
+class TestProfileGroup:
+    def test_covers_every_stencil(self, rng):
+        g = make_group()
+        arrays = {k: rng.random((64, 64)) for k in g.grids()}
+        profiles = profile_group(g, arrays, backend="c", repeats=1)
+        assert [p.name for p in profiles] == ["big", "tiny"]
+
+    def test_points_counted(self, rng):
+        g = make_group()
+        arrays = {k: rng.random((64, 64)) for k in g.grids()}
+        profiles = profile_group(g, arrays, backend="numpy", repeats=1)
+        assert profiles[0].points == 62 * 62
+        assert profiles[1].points == 3 * 3
+
+    def test_shares_sum_to_one(self, rng):
+        g = make_group()
+        arrays = {k: rng.random((64, 64)) for k in g.grids()}
+        profiles = profile_group(g, arrays, backend="c", repeats=1)
+        assert sum(p.share for p in profiles) == pytest.approx(1.0)
+
+    def test_big_stencil_dominates(self, rng):
+        # 256^2 interior vs 3x3 patch: the big sweep should own most of
+        # the time even on a noisy shared machine.
+        g = make_group()
+        arrays = {k: rng.random((256, 256)) for k in g.grids()}
+        profiles = profile_group(g, arrays, backend="c", repeats=3)
+        by_name = {p.name: p for p in profiles}
+        assert by_name["big"].share > 0.5
+
+    def test_params_forwarded(self, rng):
+        from repro.core.expr import Param
+
+        s = Stencil(Param("w") * LAP, "a", RectDomain((1, 1), (-1, -1)))
+        g = StencilGroup([s])
+        arrays = {k: rng.random((32, 32)) for k in g.grids()}
+        profiles = profile_group(
+            g, arrays, params={"w": 2.0}, backend="numpy", repeats=1
+        )
+        assert len(profiles) == 1
+
+    def test_report_renders(self, rng):
+        g = make_group()
+        arrays = {k: rng.random((32, 32)) for k in g.grids()}
+        out = format_profile(profile_group(g, arrays, backend="numpy", repeats=1))
+        assert "hottest first" in out
+        assert "big" in out and "tiny" in out
