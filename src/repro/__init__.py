@@ -22,6 +22,8 @@ Subpackages:
 * :mod:`repro.baselines` — hand-optimized comparator kernels
 * :mod:`repro.machine` — STREAM, Roofline bounds, platform models
 * :mod:`repro.tuning` — tile-size autotuning
+* :mod:`repro.resilience` — fault injection, backend fallback chains,
+  runtime guards (``python -m repro doctor`` for the self-check)
 """
 
 from .core import (
@@ -39,6 +41,7 @@ from .core import (
     WeightArray,
 )
 from .backends import available_backends, get_backend, register_backend
+from .resilience import ExecutionPolicy, Guards
 
 __version__ = "1.0.0"
 
@@ -58,5 +61,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "ExecutionPolicy",
+    "Guards",
     "__version__",
 ]

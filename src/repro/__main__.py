@@ -4,6 +4,8 @@ Commands:
 
 * ``info``      — environment report: backends, compiler, cache, machine
 * ``selftest``  — compile-and-run a stencil through every backend
+* ``doctor``    — toolchain/cache self-check + degradation report
+                  (exit 0 healthy, 1 degraded, 2 unusable)
 * ``figures``   — alias for ``python -m repro.figures ...``
 """
 
@@ -70,11 +72,107 @@ def cmd_selftest() -> int:
     return 1 if failed else 0
 
 
+_PROBE_SRC = "double sf_doctor_probe(void){ return 42.0; }\n"
+
+
+def cmd_doctor() -> int:
+    """Self-check the execution stack and print the degradation report.
+
+    Exit codes: 0 — primary chain fully healthy; 1 — degraded but
+    serving (a fallback backend will carry the load); 2 — no backend
+    can serve at all.
+    """
+    import os
+    import shutil
+
+    from . import __version__
+    from .backends import jit
+    from .resilience import faults
+
+    def line(status: str, name: str, detail: str) -> None:
+        print(f"  [{status:^4s}] {name:18s} {detail}")
+
+    print(f"repro doctor ({__version__})")
+
+    cc = jit._cc()
+    cc_found = shutil.which(cc) is not None
+    line("ok" if cc_found else "FAIL", "compiler",
+         f"{cc} ({'found' if cc_found else 'NOT FOUND'})")
+
+    # Probe the real pipeline, not just PATH: compile + dlopen a
+    # one-liner, plain and with -fopenmp.
+    c_ok = omp_ok = False
+    c_err = omp_err = ""
+    try:
+        jit.compile_and_load(_PROBE_SRC)
+        c_ok = True
+    except Exception as e:
+        c_err = f"{type(e).__name__}: {e}".splitlines()[0][:90]
+    line("ok" if c_ok else "FAIL", "c toolchain",
+         "probe compiled and loaded" if c_ok else c_err)
+    try:
+        jit.compile_and_load(_PROBE_SRC, openmp=True)
+        omp_ok = True
+    except Exception as e:
+        omp_err = f"{type(e).__name__}: {e}".splitlines()[0][:90]
+    line("ok" if omp_ok else "FAIL", "openmp link",
+         "probe compiled with -fopenmp" if omp_ok else omp_err)
+
+    try:
+        d = jit.cache_dir()
+        probe = d / f"sf_doctor.{os.getpid()}.touch"
+        probe.write_text("ok")
+        probe.unlink()
+        cache_ok = True
+        line("ok", "cache", f"writable at {d}")
+    except OSError as e:
+        cache_ok = False
+        line("warn", "cache", f"not writable ({e}); compiles cannot persist")
+
+    if cache_ok:
+        swept = jit.sweep_orphans()
+        if swept:
+            line("warn", "orphans", f"removed {swept} stale *.tmp.so "
+                 "from crashed compiles")
+        else:
+            line("ok", "orphans", "no stale *.tmp.so temporaries")
+        bad = len(list(jit.cache_dir().glob("sf_*.so.bad")))
+        line("warn" if bad else "ok", "quarantine",
+             f"{bad} quarantined artifact(s)" if bad
+             else "no quarantined artifacts")
+
+    armed = faults.active()
+    line("warn" if armed else "ok", "fault injection",
+         f"armed sites: {sorted(armed)}" if armed else "no sites armed")
+
+    # Degradation report: walk the default fallback chain exactly the
+    # way ExecutionPolicy would.
+    chain = ("openmp", "c", "numpy")
+    healthy = {"openmp": omp_ok, "c": c_ok, "numpy": True}
+    serving = next((b for b in chain if healthy[b]), None)
+    print(f"degradation report (chain {' -> '.join(chain)}):")
+    for b in chain:
+        print(f"  {b:8s} {'available' if healthy[b] else 'UNAVAILABLE'}")
+    if serving == chain[0]:
+        print(f"  would serve: {serving} (healthy, no degradation)")
+        return 0
+    if serving is not None:
+        print(f"  would serve: {serving} (DEGRADED — results identical, "
+              "performance reduced)")
+        return 1
+    print("  would serve: nothing — system unusable")  # pragma: no cover
+    return 2
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
     sub = ap.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="environment report")
     sub.add_parser("selftest", help="run every backend on a probe stencil")
+    sub.add_parser(
+        "doctor",
+        help="toolchain/cache self-check and degradation report",
+    )
     fig = sub.add_parser("figures", help="regenerate paper figures")
     fig.add_argument("rest", nargs=argparse.REMAINDER)
     args = ap.parse_args(argv)
@@ -84,6 +182,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "selftest":
         return cmd_selftest()
+    if args.command == "doctor":
+        return cmd_doctor()
     if args.command == "figures":
         from .figures.__main__ import main as fig_main
 

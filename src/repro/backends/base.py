@@ -18,6 +18,8 @@ import numpy as np
 
 from ..core.stencil import StencilGroup
 from ..core.validate import check_arrays, check_group
+from ..resilience.faults import InjectedFault, fault_point
+from ..resilience.guards import Guards
 
 __all__ = [
     "Backend",
@@ -35,6 +37,12 @@ class CompiledKernel:
     mutated in place for outputs) and the scalar params.  Lazy shape
     specialization: when built without ``shapes``, the first call binds
     them and the specialized kernel is cached per shape tuple.
+
+    Runtime guards (:class:`~repro.resilience.guards.Guards`) attach at
+    compile time (``compile(..., guards=...)``) or globally via the
+    ``SNOWFLAKE_GUARDS`` environment variable; the specialize and invoke
+    paths carry the ``backend.specialize`` / ``backend.invoke``
+    fault-injection sites.
     """
 
     def __init__(
@@ -43,8 +51,13 @@ class CompiledKernel:
         specialize: Callable[[Mapping[str, tuple[int, ...]], np.dtype], Callable],
         shapes: Mapping[str, Sequence[int]] | None,
         dtype,
+        guards: Guards | None = None,
+        backend_name: str | None = None,
     ) -> None:
         self.group = group
+        self.backend_name = backend_name
+        self.guards = guards if guards is not None else Guards.from_env()
+        self._outputs = {s.output for s in group}
         self._specialize = specialize
         self._cache: dict[tuple, Callable] = {}
         self._pinned_dtype = np.dtype(dtype) if dtype is not None else None
@@ -61,6 +74,11 @@ class CompiledKernel:
         impl = self._cache.get(key)
         if impl is None:
             check_group(self.group, shapes)
+            if fault_point("backend.specialize"):
+                raise InjectedFault(
+                    f"injected fault: specialize "
+                    f"{self.backend_name or 'backend'} for {sorted(shapes)}"
+                )
             impl = self._specialize(shapes, np.dtype(dtype))
             self._cache[key] = impl
         return impl
@@ -89,7 +107,15 @@ class CompiledKernel:
             )
         shapes = {g: a.shape for g, a in arrays.items()}
         impl = self._get_impl(shapes, dt)
+        if fault_point("backend.invoke"):
+            raise InjectedFault(
+                f"injected fault: invoke {self.backend_name or 'backend'} "
+                f"kernel for {self.group.name!r}"
+            )
+        before = self.guards.snapshot_invariants(arrays)
         impl(arrays, params)
+        self.guards.check_invariants(before, arrays)
+        self.guards.scan_nonfinite(arrays, self._outputs)
 
     @property
     def specializations(self) -> int:
@@ -102,6 +128,11 @@ class Backend(abc.ABC):
 
     #: registry name, e.g. ``"openmp"``
     name: str = "abstract"
+
+    #: does this micro-compiler need a working system toolchain?  The
+    #: fallback policy and ``python -m repro doctor`` use this to pick
+    #: degradation targets and to thread compile timeouts.
+    requires_toolchain: bool = False
 
     @abc.abstractmethod
     def specializer(
@@ -119,9 +150,17 @@ class Backend(abc.ABC):
         group: StencilGroup,
         shapes: Mapping[str, Sequence[int]] | None = None,
         dtype=None,
+        guards: Guards | None = None,
         **options,
     ) -> CompiledKernel:
-        return CompiledKernel(group, self.specializer(group, **options), shapes, dtype)
+        return CompiledKernel(
+            group,
+            self.specializer(group, **options),
+            shapes,
+            dtype,
+            guards=guards,
+            backend_name=self.name,
+        )
 
 
 _REGISTRY: dict[str, Backend] = {}

@@ -196,16 +196,19 @@ class CBackend(Backend):
     """The ``c`` micro-compiler (sequential C99, SectionV-A flag set).
 
     Options: ``tile`` (int cache-block size on the outermost loop),
-    ``multicolor`` (bool, default True: fuse checkerboard unions).
+    ``multicolor`` (bool, default True: fuse checkerboard unions),
+    ``cc_timeout`` (hard wall-clock cap on the compiler subprocess).
     """
 
     name = "c"
     _openmp = False
+    requires_toolchain = True
 
     def specializer(self, group: StencilGroup, **options):
         tile = options.pop("tile", None)
         multicolor = options.pop("multicolor", True)
         fuse = options.pop("fuse", False)
+        cc_timeout = options.pop("cc_timeout", None)
         if options:
             raise TypeError(f"unknown options for {self.name!r}: {options}")
 
@@ -214,7 +217,9 @@ class CBackend(Backend):
                 group, shapes, dtype, tile=tile, multicolor=multicolor,
                 fuse=fuse,
             )
-            lib = compile_and_load(src, openmp=self._openmp)
+            lib = compile_and_load(
+                src, openmp=self._openmp, timeout=cc_timeout
+            )
             ctx = CodegenContext(group, shapes, ctype_for(dtype))
             return make_ffi_wrapper(lib, "sf_kernel", ctx)
 

@@ -11,6 +11,23 @@ callable via the built-in FFI, caching callables for subsequent use
   even across interpreter sessions;
 * compiler and flags mirror SectionV-A (``-std=c99 -O3 -fgcse -fPIC``),
   with ``-fopenmp`` / ``-lm`` added per backend request.
+
+Hardened for production use:
+
+* compilation is serialized **per source tag**, not globally — threads
+  building different stencils run their compiler subprocesses
+  concurrently;
+* every compiler subprocess runs under a hard wall-clock timeout
+  (``SNOWFLAKE_CC_TIMEOUT`` seconds, default 300; per-call override via
+  ``timeout=``), raising the retryable :class:`CompileTimeout`;
+* a cached ``.so`` that fails to ``dlopen`` (truncated by a crash, disk
+  corruption) is **quarantined** (renamed ``*.so.bad``) and rebuilt from
+  source transparently, with one :class:`ResilienceWarning`;
+* ``sf_*.tmp.so`` temporaries left by crashed compiles are swept by
+  :func:`sweep_orphans` (and ``python -m repro doctor``);
+* the spawn/load/cache paths carry named fault-injection sites
+  (``jit.spawn``, ``jit.load``, ``jit.cache.read``, ``jit.cache.write``
+  — see :mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
@@ -21,9 +38,20 @@ import os
 import subprocess
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 
-__all__ = ["CompileError", "compile_and_load", "cache_dir", "clear_disk_cache"]
+from ..resilience.faults import ResilienceWarning, fault_point
+
+__all__ = [
+    "CompileError",
+    "CompileTimeout",
+    "compile_and_load",
+    "cache_dir",
+    "clear_disk_cache",
+    "sweep_orphans",
+    "default_cc_timeout",
+]
 
 
 class CompileError(RuntimeError):
@@ -31,10 +59,18 @@ class CompileError(RuntimeError):
     carries the compiler output and a path to the offending source."""
 
 
+class CompileTimeout(CompileError):
+    """The compiler subprocess exceeded its hard wall-clock timeout.
+
+    Transient by definition (a loaded machine, a hung license check) —
+    the fallback policy retries these in place before degrading."""
+
+
 _DEFAULT_FLAGS = ("-std=c99", "-O3", "-fgcse", "-fPIC", "-shared")
 
-_lock = threading.Lock()
+_lock = threading.Lock()  # guards _loaded and _tag_locks only
 _loaded: dict[str, ctypes.CDLL] = {}
+_tag_locks: dict[str, threading.Lock] = {}
 
 
 def cache_dir() -> Path:
@@ -48,12 +84,65 @@ def cache_dir() -> Path:
     return p
 
 
+def default_cc_timeout() -> float | None:
+    """Hard compiler timeout in seconds (``SNOWFLAKE_CC_TIMEOUT``;
+    ``<= 0`` disables; default 300)."""
+    raw = os.environ.get("SNOWFLAKE_CC_TIMEOUT", "").strip()
+    if not raw:
+        return 300.0
+    try:
+        val = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"SNOWFLAKE_CC_TIMEOUT must be a number of seconds, "
+            f"got {raw!r}"
+        ) from None
+    return None if val <= 0 else val
+
+
 def clear_disk_cache() -> int:
-    """Delete cached artifacts; returns the number of files removed."""
+    """Delete cached artifacts — sources, shared objects, quarantined
+    ``*.so.bad`` and orphaned ``*.tmp.so`` — returning the number of
+    files *actually* deleted (a concurrent sweeper's work is not
+    double-counted)."""
     n = 0
     for f in cache_dir().glob("sf_*"):
-        f.unlink(missing_ok=True)
-        n += 1
+        try:
+            f.unlink()
+            n += 1
+        except FileNotFoundError:
+            pass  # lost a race with another process: not our deletion
+    return n
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OverflowError):
+        return True  # exists but owned elsewhere / unprobeable: keep
+    return True
+
+
+def sweep_orphans() -> int:
+    """Remove ``sf_*.tmp.so`` temporaries whose owning process is gone
+    (crashed mid-compile); returns the number removed.  Temporaries of
+    live processes — including this one — are left alone."""
+    n = 0
+    for f in cache_dir().glob("sf_*.tmp.so"):
+        parts = f.name.split(".")  # sf_<tag> . <pid> . tmp . so
+        try:
+            pid = int(parts[-3]) if len(parts) >= 4 else -1
+        except ValueError:
+            pid = -1
+        if pid > 0 and _pid_alive(pid):
+            continue
+        try:
+            f.unlink()
+            n += 1
+        except FileNotFoundError:
+            pass
     return n
 
 
@@ -61,38 +150,139 @@ def _cc() -> str:
     return os.environ.get("SNOWFLAKE_CC", "gcc")
 
 
+def _tag(
+    source: str,
+    openmp: bool = False,
+    extra_flags: tuple[str, ...] = (),
+) -> str:
+    """Cache key: source text + everything that changes the binary."""
+    return hashlib.sha256(
+        source.encode() + repr((openmp, extra_flags, _cc())).encode()
+    ).hexdigest()[:24]
+
+
+def _quarantine(so_path: Path) -> Path:
+    """Move a bad artifact out of the compile path; never raises."""
+    bad = so_path.with_name(so_path.name + ".bad")
+    try:
+        os.replace(so_path, bad)
+        return bad
+    except OSError:
+        try:
+            so_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return so_path
+
+
+def _load(so_path: Path) -> ctypes.CDLL:
+    if fault_point("jit.load"):
+        raise OSError(f"injected fault: dlopen {so_path.name}")
+    return ctypes.CDLL(str(so_path))
+
+
+def _build(
+    tag: str,
+    source: str,
+    d: Path,
+    so_path: Path,
+    openmp: bool,
+    extra_flags: tuple[str, ...],
+    timeout: float | None,
+) -> None:
+    """Compile ``source`` and atomically publish ``so_path``."""
+    c_path = d / f"sf_{tag}.c"
+    c_path.write_text(source)
+    cmd = [_cc(), *_DEFAULT_FLAGS]
+    if openmp:
+        cmd.append("-fopenmp")
+    cmd += list(extra_flags)
+    tmp_so = d / f"sf_{tag}.{os.getpid()}.tmp.so"
+    cmd += [str(c_path), "-o", str(tmp_so), "-lm"]
+    if timeout is None:
+        timeout = default_cc_timeout()
+    if fault_point("jit.spawn"):
+        raise CompileError(f"injected fault: compiler spawn ({cmd[0]})")
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout
+        )
+    except subprocess.TimeoutExpired:
+        tmp_so.unlink(missing_ok=True)
+        raise CompileTimeout(
+            f"compiler exceeded the {timeout:.0f}s hard timeout: "
+            f"{' '.join(cmd)}"
+        ) from None
+    if proc.returncode != 0:
+        tmp_so.unlink(missing_ok=True)
+        raise CompileError(
+            f"compiler failed ({' '.join(cmd)}):\n{proc.stderr}\n"
+            f"source kept at {c_path}"
+        )
+    if fault_point("jit.cache.write"):
+        tmp_so.unlink(missing_ok=True)
+        raise OSError("injected fault: cache write failed")
+    os.replace(tmp_so, so_path)  # atomic publish for concurrent procs
+
+
+def _materialize(
+    tag: str,
+    source: str,
+    openmp: bool,
+    extra_flags: tuple[str, ...],
+    timeout: float | None,
+) -> ctypes.CDLL:
+    d = cache_dir()
+    so_path = d / f"sf_{tag}.so"
+    if so_path.exists():
+        if fault_point("jit.cache.read"):
+            # the injected failure mode is on-disk corruption of the
+            # cached artifact — exercised end-to-end through dlopen.
+            # Replaced via a new inode: dlopen caches handles by
+            # dev/inode, so an in-place overwrite of an already-mapped
+            # artifact would be silently served from the old mapping.
+            corrupt = so_path.with_name(so_path.name + ".corrupt")
+            corrupt.write_bytes(b"\x7fELF injected corruption")
+            os.replace(corrupt, so_path)
+        try:
+            return _load(so_path)
+        except OSError as e:
+            bad = _quarantine(so_path)
+            warnings.warn(
+                ResilienceWarning(
+                    f"cached artifact {so_path.name} failed to load "
+                    f"({e}); quarantined as {bad.name}, recompiling"
+                ),
+                stacklevel=3,
+            )
+    _build(tag, source, d, so_path, openmp, extra_flags, timeout)
+    return _load(so_path)
+
+
 def compile_and_load(
     source: str,
     *,
     openmp: bool = False,
     extra_flags: tuple[str, ...] = (),
+    timeout: float | None = None,
 ) -> ctypes.CDLL:
-    """Compile C ``source`` to a shared object and dlopen it (cached)."""
-    tag = hashlib.sha256(
-        source.encode() + repr((openmp, extra_flags, _cc())).encode()
-    ).hexdigest()[:24]
+    """Compile C ``source`` to a shared object and dlopen it (cached).
+
+    Serialized per source tag: concurrent callers compiling *different*
+    stencils proceed in parallel; callers racing on the *same* stencil
+    share one compile."""
+    tag = _tag(source, openmp, extra_flags)
     with _lock:
         lib = _loaded.get(tag)
         if lib is not None:
             return lib
-        d = cache_dir()
-        so_path = d / f"sf_{tag}.so"
-        if not so_path.exists():
-            c_path = d / f"sf_{tag}.c"
-            c_path.write_text(source)
-            cmd = [_cc(), *_DEFAULT_FLAGS]
-            if openmp:
-                cmd.append("-fopenmp")
-            cmd += list(extra_flags)
-            tmp_so = d / f"sf_{tag}.{os.getpid()}.tmp.so"
-            cmd += [str(c_path), "-o", str(tmp_so), "-lm"]
-            proc = subprocess.run(cmd, capture_output=True, text=True)
-            if proc.returncode != 0:
-                raise CompileError(
-                    f"compiler failed ({' '.join(cmd)}):\n{proc.stderr}\n"
-                    f"source kept at {c_path}"
-                )
-            os.replace(tmp_so, so_path)  # atomic publish for concurrent procs
-        lib = ctypes.CDLL(str(so_path))
-        _loaded[tag] = lib
-        return lib
+        tag_lock = _tag_locks.setdefault(tag, threading.Lock())
+    with tag_lock:
+        with _lock:
+            lib = _loaded.get(tag)
+            if lib is not None:
+                return lib
+        lib = _materialize(tag, source, openmp, extra_flags, timeout)
+        with _lock:
+            _loaded[tag] = lib
+    return lib

@@ -111,9 +111,14 @@ class _StencilExec:
 
 
 class NumpyBackend(Backend):
-    """The ``numpy`` micro-compiler: strided-view vectorization."""
+    """The ``numpy`` micro-compiler: strided-view vectorization.
+
+    Needs no system toolchain — together with ``python`` it is the
+    terminal, always-available link of every fallback chain.
+    """
 
     name = "numpy"
+    requires_toolchain = False
 
     def specializer(self, group: StencilGroup, **options):
         if options:

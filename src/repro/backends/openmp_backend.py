@@ -146,6 +146,7 @@ class OpenMPBackend(CBackend):
         multicolor = options.pop("multicolor", True)
         schedule = options.pop("schedule", "greedy")
         fuse = options.pop("fuse", False)
+        cc_timeout = options.pop("cc_timeout", None)
         if options:
             raise TypeError(f"unknown options for {self.name!r}: {options}")
 
@@ -158,7 +159,7 @@ class OpenMPBackend(CBackend):
                 tile=tile, multicolor=multicolor, schedule=schedule,
                 fuse=fuse,
             )
-            lib = compile_and_load(src, openmp=True)
+            lib = compile_and_load(src, openmp=True, timeout=cc_timeout)
             ctx = CodegenContext(group, shapes, ctype_for(dtype))
             return make_ffi_wrapper(lib, "sf_kernel", ctx)
 

@@ -179,11 +179,15 @@ class Stencil:
         backend: str = "numpy",
         shapes: Mapping[str, Sequence[int]] | None = None,
         dtype=None,
+        *,
+        fallback: Sequence[str] | None = None,
+        policy=None,
         **options,
     ) -> Callable:
         """JIT-compile this stencil alone; see :meth:`StencilGroup.compile`."""
         return StencilGroup([self], name=self.name).compile(
-            backend=backend, shapes=shapes, dtype=dtype, **options
+            backend=backend, shapes=shapes, dtype=dtype,
+            fallback=fallback, policy=policy, **options
         )
 
 
@@ -257,6 +261,9 @@ class StencilGroup:
         backend: str = "numpy",
         shapes: Mapping[str, Sequence[int]] | None = None,
         dtype=None,
+        *,
+        fallback: Sequence[str] | None = None,
+        policy=None,
         **options,
     ) -> Callable:
         """Compile via the named micro-compiler backend.
@@ -265,9 +272,30 @@ class StencilGroup:
         output grids in place.  When ``shapes`` is omitted the backend
         shape-specializes lazily on first call and re-uses the cached
         kernel for subsequent same-shape calls.
+
+        ``fallback`` names backends tried in order when ``backend``
+        fails (broken toolchain, compile timeout, corrupted cache);
+        ``policy`` is a full :class:`~repro.resilience.policy.
+        ExecutionPolicy` (retry budget, backoff, compile timeout).
+        Either one routes through the resilient compile path and
+        returns a :class:`~repro.resilience.policy.ResilientKernel`
+        that records which backend actually serves.
         """
         from ..backends import get_backend  # local import: avoid cycle
 
+        if fallback is not None or policy is not None:
+            from ..resilience.policy import (
+                ExecutionPolicy,
+                compile_resilient,
+            )
+
+            pol = policy or ExecutionPolicy()
+            if fallback is not None:
+                pol = pol.with_fallback(tuple(fallback))
+            return compile_resilient(
+                self, backend=backend, shapes=shapes, dtype=dtype,
+                policy=pol, **options
+            )
         return get_backend(backend).compile(
             self, shapes=shapes, dtype=dtype, **options
         )

@@ -10,6 +10,16 @@ tests use that to assert exchange protocols are complete.
 Traffic accounting (`bytes_sent`, `messages`) stands in for the wire:
 the distributed benchmarks report communication volume per sweep,
 which is platform-independent truth even on a simulated fabric.
+
+Fault injection (:mod:`repro.resilience.faults`) models an unreliable
+wire: ``comm.send.drop`` loses a message on the send side,
+``comm.recv.drop`` discards it at delivery, and
+``comm.payload.corrupt`` bit-flips the in-flight copy — each
+deterministic and site-addressed, so exchange protocols can be tested
+against the failures real fabrics produce.  ``barrier(strict=True)``
+(or ``world(..., strict_barriers=True)``) turns a barrier into a
+protocol audit: any message still undelivered raises :class:`CommError`
+instead of being silently counted.
 """
 
 from __future__ import annotations
@@ -18,6 +28,8 @@ from collections import defaultdict, deque
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..resilience.faults import fault_point
 
 __all__ = ["CommError", "SimComm"]
 
@@ -31,13 +43,16 @@ class _Stats:
     messages: int = 0
     bytes_sent: int = 0
     barriers: int = 0
+    dropped: int = 0  # messages lost to injected send/recv drops
+    corrupted: int = 0  # payloads bit-flipped by injected corruption
 
 
 class _Fabric:
     """Shared mailbox store for one communicator."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, strict_barriers: bool = False) -> None:
         self.size = size
+        self.strict_barriers = strict_barriers
         self.boxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
         self.stats = _Stats()
 
@@ -56,10 +71,12 @@ class SimComm:
     # -- construction --------------------------------------------------------
 
     @staticmethod
-    def world(size: int) -> list["SimComm"]:
+    def world(size: int, *, strict_barriers: bool = False) -> list["SimComm"]:
+        """Create all rank endpoints; ``strict_barriers=True`` makes
+        every :meth:`barrier` audit for undelivered messages."""
         if size < 1:
             raise ValueError("communicator size must be >= 1")
-        fabric = _Fabric(size)
+        fabric = _Fabric(size, strict_barriers=strict_barriers)
         return [SimComm(fabric, r) for r in range(size)]
 
     # -- mpi4py-flavoured surface ----------------------------------------------
@@ -84,6 +101,16 @@ class SimComm:
         if dest == self._rank:
             raise CommError("self-send is always a protocol bug here")
         arr = np.array(data, copy=True)
+        if fault_point("comm.send.drop"):
+            self._fabric.stats.dropped += 1
+            return
+        if fault_point("comm.payload.corrupt") and arr.nbytes:
+            # deterministic byte-flip on the wire copy: the high byte of
+            # the middle element (for floats, the sign/exponent byte —
+            # a corruption large enough to matter, not a rounding blip)
+            mid = (arr.size // 2) * arr.itemsize + (arr.itemsize - 1)
+            arr.view(np.uint8).flat[mid] ^= 0xFF
+            self._fabric.stats.corrupted += 1
         self._fabric.boxes[(self._rank, dest, tag)].append(arr)
         self._fabric.stats.messages += 1
         self._fabric.stats.bytes_sent += arr.nbytes
@@ -92,6 +119,9 @@ class SimComm:
         """Receive the next matching message; raises on guaranteed deadlock."""
         self._check_rank(source)
         box = self._fabric.boxes.get((source, self._rank, tag))
+        if box and fault_point("comm.recv.drop"):
+            box.popleft()  # lost at delivery; the CommError below is
+            self._fabric.stats.dropped += 1  # how the loss surfaces
         if not box:
             raise CommError(
                 f"rank {self._rank} recv(source={source}, tag={tag}): "
@@ -115,8 +145,33 @@ class SimComm:
         self.send(senddata, dest, tag)
         return self.recv(recvsource, tag)
 
-    def barrier(self) -> None:
+    def barrier(self, strict: bool | None = None) -> None:
+        """Synchronization point (a counter on the lock-step fabric).
+
+        With ``strict=True`` (or a ``strict_barriers`` world), messages
+        still undelivered at the barrier are a protocol bug — an
+        exchange enqueued sends that nobody received — and raise
+        :class:`CommError` naming the offending mailboxes.
+        """
         self._fabric.stats.barriers += 1
+        if strict is None:
+            strict = self._fabric.strict_barriers
+        if strict:
+            pending = {
+                key: len(box)
+                for key, box in self._fabric.boxes.items()
+                if box
+            }
+            if pending:
+                detail = ", ".join(
+                    f"src={s}->dest={d} tag={t}: {n} msg(s)"
+                    for (s, d, t), n in sorted(pending.items())
+                )
+                raise CommError(
+                    f"strict barrier: {sum(pending.values())} message(s) "
+                    f"still pending ({detail}) — incomplete exchange "
+                    "protocol"
+                )
 
     # -- accounting -----------------------------------------------------------
 

@@ -30,6 +30,7 @@ import numpy as np
 from ..core.domains import RectDomain, ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import check_group
+from ..resilience.guards import Guards, halo_crc
 from .comm import SimComm
 from .decompose import BlockDecomposition
 
@@ -37,6 +38,8 @@ __all__ = ["DistributedKernel"]
 
 _TAG_UP = 101    # data flowing to the lower-ranked neighbour
 _TAG_DOWN = 102  # data flowing to the higher-ranked neighbour
+_TAG_UP_CRC = 111    # checksum companions of the halo payloads,
+_TAG_DOWN_CRC = 112  # sent only when the halo_checksum guard is on
 
 
 def _rect_slab_restriction(
@@ -81,12 +84,16 @@ class DistributedKernel:
         *,
         backend: str = "c",
         dtype=np.float64,
+        fallback: Sequence[str] | None = None,
+        guards: Guards | None = None,
         **backend_options,
     ) -> None:
         self.group = group
         self.global_shape = tuple(int(x) for x in global_shape)
         self.dtype = np.dtype(dtype)
         self.backend = backend
+        self.fallback = tuple(fallback) if fallback else None
+        self.guards = guards if guards is not None else Guards.from_env()
         self.backend_options = dict(backend_options)
 
         self._validate_decomposable()
@@ -150,6 +157,7 @@ class DistributedKernel:
                     backend=self.backend,
                     shapes={g: local_shape for g in local.grids()},
                     dtype=self.dtype,
+                    fallback=self.fallback,
                     **self.backend_options,
                 )
                 row.append((local, kernel))
@@ -174,29 +182,49 @@ class DistributedKernel:
     # -- halo exchange ---------------------------------------------------------------
 
     def _exchange(self, locals_: list[dict[str, np.ndarray]], grid: str, width: int) -> None:
-        """Swap ``width`` boundary rows of ``grid`` between neighbours."""
+        """Swap ``width`` boundary rows of ``grid`` between neighbours.
+
+        With the ``halo_checksum`` guard enabled, every payload travels
+        with a CRC32 computed *before* the send — in-flight corruption
+        (the ``comm.payload.corrupt`` fault) is caught on receipt.
+        """
         size = self.decomp.size
+        checked = self.guards.halo_checksum != "off"
         # enqueue all sends first (lock-step driver: no ordering hazards)
         for s in self.decomp.slabs:
             arr = locals_[s.rank][grid]
             if s.rank > 0:
                 lo = s.local_own_lo
-                self.comms[s.rank].send(
-                    arr[lo : lo + width], s.rank - 1, _TAG_UP
-                )
+                block = arr[lo : lo + width]
+                self.comms[s.rank].send(block, s.rank - 1, _TAG_UP)
+                if checked:
+                    self.comms[s.rank].send(
+                        np.array([halo_crc(block)], dtype=np.int64),
+                        s.rank - 1, _TAG_UP_CRC,
+                    )
             if s.rank < size - 1:
                 hi = s.local_own_hi
-                self.comms[s.rank].send(
-                    arr[hi - width : hi], s.rank + 1, _TAG_DOWN
-                )
+                block = arr[hi - width : hi]
+                self.comms[s.rank].send(block, s.rank + 1, _TAG_DOWN)
+                if checked:
+                    self.comms[s.rank].send(
+                        np.array([halo_crc(block)], dtype=np.int64),
+                        s.rank + 1, _TAG_DOWN_CRC,
+                    )
         for s in self.decomp.slabs:
             arr = locals_[s.rank][grid]
             if s.rank < size - 1:
                 block = self.comms[s.rank].recv(s.rank + 1, _TAG_UP)
+                if checked:
+                    crc = self.comms[s.rank].recv(s.rank + 1, _TAG_UP_CRC)
+                    self.guards.check_halo(grid, int(crc[0]), block)
                 hi = s.local_own_hi
                 arr[hi : hi + width] = block
             if s.rank > 0:
                 block = self.comms[s.rank].recv(s.rank - 1, _TAG_DOWN)
+                if checked:
+                    crc = self.comms[s.rank].recv(s.rank - 1, _TAG_DOWN_CRC)
+                    self.guards.check_halo(grid, int(crc[0]), block)
                 lo = s.local_own_lo
                 arr[lo - width : lo] = block
 
@@ -271,3 +299,21 @@ class DistributedKernel:
     def comm_stats(self):
         """Fabric-wide traffic counters (messages, bytes, barriers)."""
         return self.comms[0].stats
+
+    @property
+    def serving_backends(self) -> set[str]:
+        """Backends actually serving the per-rank kernels.
+
+        ``{"c"}`` on a healthy toolchain; a degraded fallback chain
+        shows up here (e.g. ``{"numpy"}``) without changing results.
+        """
+        out: set[str] = set()
+        for row in self._kernels:
+            for entry in row:
+                if entry is None:
+                    continue
+                _, kernel = entry
+                out.add(
+                    getattr(kernel, "serving_backend", None) or self.backend
+                )
+        return out

@@ -1,0 +1,267 @@
+"""Backend fallback chains and retry policy for kernel compilation.
+
+The paper's portability story ("every lowering path has a verified
+correct fallback") becomes executable here: an :class:`ExecutionPolicy`
+names an ordered chain of micro-compilers, and :class:`ResilientKernel`
+walks it — retrying *transient* failures (compiler timeout, spawn
+``OSError``, lost cache write) with bounded exponential backoff on the
+same backend, and degrading to the next backend on *persistent* ones
+(codegen ``CompileError``, un-dlopen-able artifact, injected faults).
+
+Because every backend compiles the same canonical flat form, a
+degraded kernel is slower but never wrong; the chain bottoms out at
+``numpy``/``python``, which need no toolchain at all.  Degradation is
+loud (one :class:`DegradedExecution` warning per kernel) and queryable
+(``kernel.serving_backend``, ``kernel.attempts``).
+
+Entry points: ``Stencil.compile(..., fallback=("c", "numpy"))`` /
+``StencilGroup.compile(..., fallback=...)`` or :func:`compile_resilient`
+directly.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from ..backends.base import get_backend
+from ..backends.jit import CompileError, CompileTimeout
+from .faults import InjectedFault, ResilienceWarning
+
+__all__ = [
+    "DegradedExecution",
+    "BackendChainError",
+    "ExecutionPolicy",
+    "ResilientKernel",
+    "compile_resilient",
+    "TRANSIENT_ERRORS",
+    "FALLBACK_ERRORS",
+]
+
+#: Retried in place (same backend, bounded backoff) before degrading.
+TRANSIENT_ERRORS = (CompileTimeout, OSError)
+
+#: Advance the fallback chain.  User errors (TypeError/ValueError/
+#: ValidationError from argument checking) are deliberately absent:
+#: they propagate — no backend can fix a wrong call.
+FALLBACK_ERRORS = (CompileError, OSError, InjectedFault)
+
+
+class DegradedExecution(ResilienceWarning):
+    """A kernel is being served by a fallback backend."""
+
+
+class BackendChainError(RuntimeError):
+    """Every backend in the fallback chain failed; carries the log."""
+
+    def __init__(self, attempts: Sequence[tuple[str, str]]) -> None:
+        self.attempts = list(attempts)
+        lines = "\n".join(f"  {b}: {e}" for b, e in self.attempts)
+        super().__init__(
+            f"all {len(self.attempts)} backend(s) in the fallback chain "
+            f"failed:\n{lines}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a kernel compiles and degrades.
+
+    ``fallback`` — backends tried, in order, after the primary;
+    ``max_retries`` — extra in-place attempts per backend for transient
+    failures; ``backoff`` — initial sleep between retries, doubling each
+    time (``sleep`` is injectable so tests stay instant);
+    ``compile_timeout`` — hard wall-clock cap on each compiler
+    subprocess, passed to toolchain backends as ``cc_timeout``.
+    """
+
+    fallback: tuple[str, ...] = ()
+    max_retries: int = 2
+    backoff: float = 0.05
+    compile_timeout: float | None = None
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, repr=False, compare=False
+    )
+
+    def with_fallback(self, chain: Sequence[str]) -> "ExecutionPolicy":
+        return replace(self, fallback=tuple(chain))
+
+
+class ResilientKernel:
+    """A kernel that walks a backend chain instead of dying.
+
+    Behaves like the :class:`~repro.backends.base.CompiledKernel` it
+    wraps — ``kernel(**grids, **params)`` — plus:
+
+    * ``serving_backend`` — who actually served the last successful
+      call (``None`` until one succeeds);
+    * ``degraded`` — is the server not the primary backend;
+    * ``attempts`` — ``[(backend, error), ...]`` log of failures.
+    """
+
+    def __init__(
+        self,
+        group,
+        backend: str,
+        shapes: Mapping[str, Sequence[int]] | None,
+        dtype,
+        policy: ExecutionPolicy,
+        options: Mapping | None = None,
+    ) -> None:
+        chain: list[str] = []
+        for name in (backend, *policy.fallback):
+            if name not in chain:
+                chain.append(name)
+        self.group = group
+        self.chain: tuple[str, ...] = tuple(chain)
+        self.policy = policy
+        self.attempts: list[tuple[str, str]] = []
+        self._shapes = shapes
+        self._dtype = dtype
+        self._options = dict(options or {})
+        self._pos = 0
+        self._kernel = None
+        self._serving: str | None = None
+        self._warned = False
+        if shapes is not None:
+            # Eager shapes: surface compile failures (and the chain
+            # walk) at construction, like a plain backend would.
+            self._ensure_kernel()
+
+    # -- public surface -------------------------------------------------------
+
+    @property
+    def serving_backend(self) -> str | None:
+        return self._serving
+
+    @property
+    def degraded(self) -> bool:
+        return self._serving is not None and self._serving != self.chain[0]
+
+    def __call__(self, **kwargs) -> None:
+        while True:
+            kernel, name = self._ensure_kernel()
+            try:
+                self._with_retries(lambda: kernel(**kwargs))
+            except FALLBACK_ERRORS as e:
+                self._fail(name, e)
+                continue
+            self._mark_serving(name)
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ResilientKernel(chain={self.chain}, "
+            f"serving={self._serving!r}, attempts={len(self.attempts)})"
+        )
+
+    # -- chain machinery ------------------------------------------------------
+
+    def _current_name(self) -> str:
+        if self._pos >= len(self.chain):
+            raise BackendChainError(self.attempts)
+        return self.chain[self._pos]
+
+    def _options_for(self, name: str) -> dict:
+        opts = dict(self._options)
+        be = get_backend(name)
+        if (
+            self.policy.compile_timeout is not None
+            and getattr(be, "requires_toolchain", False)
+        ):
+            opts.setdefault("cc_timeout", self.policy.compile_timeout)
+        return opts
+
+    def _build(self, name: str):
+        be = get_backend(name)
+
+        def make():
+            opts = self._options_for(name)
+            try:
+                return be.compile(
+                    self.group,
+                    shapes=self._shapes,
+                    dtype=self._dtype,
+                    **opts,
+                )
+            except TypeError as e:
+                # A chain may cross backend families with different
+                # option vocabularies (e.g. openmp's `tile` means
+                # nothing to numpy): retry bare rather than dying on a
+                # tuning knob.
+                if opts and "option" in str(e):
+                    return be.compile(
+                        self.group, shapes=self._shapes, dtype=self._dtype
+                    )
+                raise
+
+        return self._with_retries(make)
+
+    def _ensure_kernel(self):
+        while self._kernel is None:
+            name = self._current_name()
+            try:
+                self._kernel = self._build(name)
+            except FALLBACK_ERRORS as e:
+                self._fail(name, e)
+                continue
+            if self._shapes is not None:
+                # eager compile already proved the backend works
+                self._mark_serving(name)
+        return self._kernel, self.chain[self._pos]
+
+    def _with_retries(self, fn: Callable):
+        """Run ``fn``, retrying transient failures per the policy.
+
+        A missing compiler binary (``FileNotFoundError``) is OSError
+        but not transient — it won't reappear between retries, so it
+        degrades immediately instead of burning the retry budget.
+        """
+        delay = self.policy.backoff
+        for attempt in range(self.policy.max_retries + 1):
+            try:
+                return fn()
+            except TRANSIENT_ERRORS as e:
+                if (
+                    isinstance(e, FileNotFoundError)
+                    or attempt >= self.policy.max_retries
+                ):
+                    raise
+                self.policy.sleep(delay)
+                delay *= 2
+
+    def _fail(self, name: str, e: BaseException) -> None:
+        self.attempts.append((name, f"{type(e).__name__}: {e}"))
+        self._kernel = None
+        self._serving = None
+        self._pos += 1
+        self._current_name()  # raises BackendChainError when exhausted
+
+    def _mark_serving(self, name: str) -> None:
+        self._serving = name
+        if name != self.chain[0] and not self._warned:
+            self._warned = True
+            log = "; ".join(f"{b}: {e}" for b, e in self.attempts)
+            warnings.warn(
+                DegradedExecution(
+                    f"backend {self.chain[0]!r} unavailable, serving "
+                    f"from fallback {name!r} ({log})"
+                ),
+                stacklevel=3,
+            )
+
+
+def compile_resilient(
+    group,
+    backend: str = "numpy",
+    shapes: Mapping[str, Sequence[int]] | None = None,
+    dtype=None,
+    policy: ExecutionPolicy | None = None,
+    **options,
+) -> ResilientKernel:
+    """Compile ``group`` under a fallback policy (see module docs)."""
+    return ResilientKernel(
+        group, backend, shapes, dtype, policy or ExecutionPolicy(), options
+    )

@@ -82,3 +82,31 @@ class TestAccounting:
         assert w[1].pending_messages() == 1
         w[1].recv(0)
         assert w[1].pending_messages() == 0
+
+
+class TestStrictBarriers:
+    def test_default_barrier_ignores_pending(self):
+        w = SimComm.world(2)
+        w[0].send(np.zeros(4), 1)
+        w[1].barrier()  # permissive: just a counter
+        assert w[1].stats.barriers == 1
+
+    def test_strict_barrier_raises_on_pending(self):
+        w = SimComm.world(2)
+        w[0].send(np.zeros(4), 1, tag=7)
+        with pytest.raises(CommError, match=r"src=0->dest=1 tag=7"):
+            w[1].barrier(strict=True)
+
+    def test_strict_world_makes_every_barrier_audit(self):
+        w = SimComm.world(2, strict_barriers=True)
+        w[0].barrier()  # clean fabric passes
+        w[0].send(np.zeros(4), 1)
+        with pytest.raises(CommError, match="still pending"):
+            w[0].barrier()
+        w[1].recv(0)
+        w[1].barrier()  # drained: strict barrier passes again
+
+    def test_per_call_strict_overrides_world_default(self):
+        w = SimComm.world(2, strict_barriers=True)
+        w[0].send(np.zeros(4), 1)
+        w[0].barrier(strict=False)  # explicit opt-out wins

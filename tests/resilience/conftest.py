@@ -1,0 +1,45 @@
+"""Isolation for the fault-matrix suite.
+
+Every test here runs with: a private JIT disk cache (so a read-only or
+poisoned global cache never leaks in — this is what lets the tier-2
+broken-toolchain invocation work), a clean fault registry, and no
+inherited ``SNOWFLAKE_FAULTS``/``SNOWFLAKE_GUARDS``.
+"""
+
+import shutil
+
+import pytest
+
+from repro.resilience import faults
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+needs_gcc = pytest.mark.skipif(
+    not HAVE_GCC, reason="needs a real gcc on PATH"
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate(monkeypatch, tmp_path):
+    monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path / "jit-cache"))
+    monkeypatch.delenv("SNOWFLAKE_FAULTS", raising=False)
+    monkeypatch.delenv("SNOWFLAKE_GUARDS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def real_gcc(monkeypatch):
+    """Force a working toolchain even under the tier-2 broken env."""
+    monkeypatch.setenv("SNOWFLAKE_CC", "gcc")
+
+
+@pytest.fixture
+def fresh_jit(monkeypatch):
+    """Empty in-process handle cache: force the disk-cache code paths."""
+    from repro.backends import jit
+
+    monkeypatch.setattr(jit, "_loaded", {})
+    monkeypatch.setattr(jit, "_tag_locks", {})
+    return jit

@@ -1,0 +1,56 @@
+"""``python -m repro doctor``: self-check + degradation report."""
+
+import shutil
+
+import pytest
+
+from repro.__main__ import main
+from repro.resilience.faults import arm
+
+pytestmark = pytest.mark.faults
+
+needs_gcc = pytest.mark.skipif(
+    shutil.which("gcc") is None, reason="requires a C toolchain"
+)
+
+
+@needs_gcc
+def test_healthy_toolchain_exits_zero(real_gcc, capsys):
+    assert main(["doctor"]) == 0
+    out = capsys.readouterr().out
+    assert "no degradation" in out
+    assert "[ ok ] compiler" in out
+    assert "would serve: openmp" in out
+
+
+def test_broken_toolchain_reports_degraded(monkeypatch, capsys):
+    monkeypatch.setenv("SNOWFLAKE_CC", "/nonexistent/snowflake-cc")
+    assert main(["doctor"]) == 1
+    out = capsys.readouterr().out
+    assert "NOT FOUND" in out
+    assert "DEGRADED" in out
+    assert "would serve: numpy" in out
+    assert "results identical" in out  # degraded != wrong
+
+
+def test_doctor_flags_armed_fault_sites(monkeypatch, capsys):
+    monkeypatch.setenv("SNOWFLAKE_CC", "/nonexistent/snowflake-cc")
+    arm("backend.invoke", times=None)
+    main(["doctor"])
+    out = capsys.readouterr().out
+    assert "armed sites" in out
+    assert "backend.invoke" in out
+
+
+@needs_gcc
+def test_doctor_sweeps_orphans_and_counts_quarantine(real_gcc, capsys):
+    from repro.backends.jit import cache_dir
+
+    d = cache_dir()
+    (d / "sf_stale.424242.tmp.so").write_bytes(b"x")  # dead-pid orphan
+    (d / "sf_broken.so.bad").write_bytes(b"x")
+    assert main(["doctor"]) == 0  # hygiene findings never flip exit code
+    out = capsys.readouterr().out
+    assert "removed 1 stale" in out
+    assert "1 quarantined artifact(s)" in out
+    assert not (d / "sf_stale.424242.tmp.so").exists()

@@ -1,0 +1,137 @@
+"""The fault matrix: every registered injection site is exercised.
+
+One scenario per site in :data:`repro.resilience.faults.SITES`; the
+test is parametrized over the registry, so registering a new site
+without adding a scenario here fails the suite.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import Component, RectDomain, Stencil, WeightArray
+from repro.backends.jit import CompileError, cache_dir, compile_and_load
+from repro.backends import jit
+from repro.dmem.comm import CommError, SimComm
+from repro.resilience import InjectedFault, ResilienceWarning, faults
+from repro.resilience.faults import SITES, inject
+
+pytestmark = pytest.mark.faults
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+#: Sites whose natural failure path runs the real compiler.
+GCC_SITES = {"jit.load", "jit.cache.read", "jit.cache.write"}
+
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+INTERIOR = RectDomain((1, 1), (-1, -1))
+
+
+def _numpy_kernel():
+    return Stencil(LAP, "out", INTERIOR).compile(backend="numpy")
+
+
+def _jit_spawn():
+    with inject("jit.spawn", times=1):
+        with pytest.raises(CompileError, match="injected fault"):
+            compile_and_load("int sf_m1(void){return 0;}\n")
+
+
+def _jit_load():
+    with inject("jit.load", times=1):
+        with pytest.raises(OSError, match="dlopen"):
+            compile_and_load("int sf_m2(void){return 0;}\n")
+
+
+def _jit_cache_read():
+    src_a = "int sf_m3a(void){return 0;}\n"
+    src_b = "int sf_m3b(void){return 0;}\n"
+    compile_and_load(src_a)
+    # a cached artifact this process has never dlopened (dlopen caches
+    # handles per path, so re-loads of a known path cannot fail)
+    shutil.copy(
+        cache_dir() / f"sf_{jit._tag(src_a)}.so",
+        cache_dir() / f"sf_{jit._tag(src_b)}.so",
+    )
+    with inject("jit.cache.read", times=1):
+        with pytest.warns(ResilienceWarning, match="recompiling"):
+            compile_and_load(src_b)
+
+
+def _jit_cache_write():
+    with inject("jit.cache.write", times=1):
+        with pytest.raises(OSError, match="cache write"):
+            compile_and_load("int sf_m4(void){return 0;}\n")
+
+
+def _backend_specialize():
+    kernel = _numpy_kernel()
+    with inject("backend.specialize", times=1):
+        with pytest.raises(InjectedFault):
+            kernel(u=np.ones((6, 6)), out=np.zeros((6, 6)))
+
+
+def _backend_invoke():
+    kernel = _numpy_kernel()
+    with inject("backend.invoke", times=1):
+        with pytest.raises(InjectedFault):
+            kernel(u=np.ones((6, 6)), out=np.zeros((6, 6)))
+
+
+def _comm_send_drop():
+    a, b = SimComm.world(2)
+    with inject("comm.send.drop", times=1):
+        a.send(np.arange(4.0), dest=1)
+    with pytest.raises(CommError, match="no matching message"):
+        b.recv(source=0)
+    assert a.stats.dropped == 1
+
+
+def _comm_recv_drop():
+    a, b = SimComm.world(2)
+    a.send(np.arange(4.0), dest=1)
+    with inject("comm.recv.drop", times=1):
+        with pytest.raises(CommError, match="no matching message"):
+            b.recv(source=0)
+    assert b.stats.dropped == 1
+
+
+def _comm_payload_corrupt():
+    a, b = SimComm.world(2)
+    data = np.ones(5)
+    with inject("comm.payload.corrupt", times=1):
+        a.send(data, dest=1)
+    got = b.recv(source=0)
+    assert not np.array_equal(got, data)
+    assert np.array_equal(data, np.ones(5))  # sender's copy untouched
+    assert a.stats.corrupted == 1
+
+
+SCENARIOS = {
+    "jit.spawn": _jit_spawn,
+    "jit.load": _jit_load,
+    "jit.cache.read": _jit_cache_read,
+    "jit.cache.write": _jit_cache_write,
+    "backend.specialize": _backend_specialize,
+    "backend.invoke": _backend_invoke,
+    "comm.send.drop": _comm_send_drop,
+    "comm.recv.drop": _comm_recv_drop,
+    "comm.payload.corrupt": _comm_payload_corrupt,
+}
+
+
+def test_matrix_covers_exactly_the_registry():
+    assert set(SCENARIOS) == set(SITES)
+
+
+@pytest.mark.parametrize("site", sorted(SITES))
+def test_site_fires(site, monkeypatch, fresh_jit):
+    if site in GCC_SITES:
+        if not HAVE_GCC:
+            pytest.skip("requires a C toolchain")
+        monkeypatch.setenv("SNOWFLAKE_CC", "gcc")
+    assert faults.fired(site) == 0
+    SCENARIOS[site]()
+    assert faults.fired(site) >= 1, f"site {site!r} never injected"
+    assert faults.reached(site) >= 1

@@ -1,0 +1,156 @@
+"""The fault registry itself: deterministic, site-addressed, replayable."""
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    InjectedFault,
+    arm,
+    disarm,
+    fault_point,
+    inject,
+    known_sites,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestRegistry:
+    def test_builtin_sites_present(self):
+        sites = known_sites()
+        for s in (
+            "jit.spawn",
+            "jit.load",
+            "jit.cache.read",
+            "jit.cache.write",
+            "backend.specialize",
+            "backend.invoke",
+            "comm.send.drop",
+            "comm.recv.drop",
+            "comm.payload.corrupt",
+        ):
+            assert s in sites
+
+    def test_unknown_site_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            fault_point("no.such.site")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            arm("no.such.site")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            with inject("no.such.site"):
+                pass
+
+    def test_register_extension_site(self):
+        name = faults.register_site("test.custom", "suite-local site")
+        assert name in known_sites()
+        arm(name)
+        assert fault_point(name) is True
+
+
+class TestArming:
+    def test_unarmed_is_inert(self):
+        assert fault_point("jit.spawn") is False
+        assert faults.reached("jit.spawn") == 1
+        assert faults.fired("jit.spawn") == 0
+
+    def test_fires_exactly_times(self):
+        arm("jit.spawn", times=2)
+        assert [fault_point("jit.spawn") for _ in range(4)] == [
+            True, True, False, False,
+        ]
+        assert faults.fired("jit.spawn") == 2
+        assert faults.reached("jit.spawn") == 4
+
+    def test_after_skips_hits(self):
+        arm("jit.load", times=1, after=2)
+        assert [fault_point("jit.load") for _ in range(4)] == [
+            False, False, True, False,
+        ]
+
+    def test_unlimited(self):
+        arm("comm.send.drop", times=None)
+        assert all(fault_point("comm.send.drop") for _ in range(10))
+        disarm("comm.send.drop")
+        assert fault_point("comm.send.drop") is False
+
+    def test_exception_class_and_instance(self):
+        arm("jit.spawn", exc=OSError)
+        with pytest.raises(OSError, match="injected fault"):
+            fault_point("jit.spawn")
+        arm("jit.spawn", exc=RuntimeError("custom message"))
+        with pytest.raises(RuntimeError, match="custom message"):
+            fault_point("jit.spawn")
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            arm("jit.spawn", times=0)
+        with pytest.raises(ValueError):
+            arm("jit.spawn", after=-1)
+
+    def test_inject_restores_previous_state(self):
+        arm("jit.spawn", times=5)
+        with inject("jit.spawn", times=1):
+            assert fault_point("jit.spawn") is True
+            assert fault_point("jit.spawn") is False  # inner exhausted
+        # outer arm restored with its original budget
+        assert faults.active()["jit.spawn"] == (5, 0)
+        disarm()
+        assert faults.active() == {}
+
+    def test_reset_clears_counters_and_arms(self):
+        arm("jit.spawn")
+        fault_point("jit.spawn")
+        faults.reset()
+        assert faults.reached("jit.spawn") == 0
+        assert faults.fired("jit.spawn") == 0
+        assert faults.active() == {}
+
+
+class TestEnvActivation:
+    def test_env_spec_arms_sites(self, monkeypatch):
+        monkeypatch.setenv(
+            "SNOWFLAKE_FAULTS", "jit.spawn:2, comm.send.drop, jit.load:*@1"
+        )
+        assert faults.active() == {
+            "jit.spawn": (2, 0),
+            "comm.send.drop": (1, 0),
+            "jit.load": (None, 1),
+        }
+        assert fault_point("jit.spawn") is True
+        assert fault_point("jit.spawn") is True
+        assert fault_point("jit.spawn") is False
+
+    def test_env_change_reparsed_lazily(self, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_FAULTS", "jit.spawn")
+        assert fault_point("jit.spawn") is True
+        monkeypatch.setenv("SNOWFLAKE_FAULTS", "jit.load")
+        assert fault_point("jit.spawn") is False
+        assert fault_point("jit.load") is True
+
+    def test_manual_arm_wins_over_env(self, monkeypatch):
+        arm("jit.spawn", times=7)
+        monkeypatch.setenv("SNOWFLAKE_FAULTS", "jit.spawn:1")
+        assert faults.active()["jit.spawn"] == (7, 0)
+
+    def test_bad_env_site_raises(self, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_FAULTS", "definitely.not.a.site")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            fault_point("jit.spawn")
+
+    def test_env_drives_backend_invoke_end_to_end(self, monkeypatch, rng):
+        import numpy as np
+
+        from repro import Component, RectDomain, Stencil, WeightArray
+
+        lap = Component(
+            "u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]])
+        )
+        k = Stencil(lap, "out", RectDomain((1, 1), (-1, -1))).compile(
+            backend="numpy"
+        )
+        u = rng.random((8, 8))
+        monkeypatch.setenv("SNOWFLAKE_FAULTS", "backend.invoke")
+        with pytest.raises(InjectedFault):
+            k(u=u, out=np.zeros_like(u))
+        # fault budget spent: the very next call succeeds
+        k(u=u, out=np.zeros_like(u))
