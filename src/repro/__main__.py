@@ -6,6 +6,9 @@ Commands:
 * ``selftest``  — compile-and-run a stencil through every backend
 * ``doctor``    — toolchain/cache self-check + degradation report
                   (exit 0 healthy, 1 degraded, 2 unusable)
+* ``stats``     — run a smoke kernel through the instrumented pipeline
+                  and print the telemetry report (``--json`` writes the
+                  ``BENCH_pipeline.json`` perf-trajectory artifact)
 * ``figures``   — alias for ``python -m repro.figures ...``
 """
 
@@ -70,6 +73,47 @@ def cmd_selftest() -> int:
         failed += 0 if ok else 1
     print("selftest:", "PASS" if failed == 0 else f"FAIL ({failed})")
     return 1 if failed else 0
+
+
+def cmd_stats(args) -> int:
+    """Exercise the pipeline on a smoke kernel, then report telemetry.
+
+    The smoke workload compiles a 2-D Laplacian through the requested
+    backend (fallback chain down to numpy, so the command works on a
+    broken toolchain) and applies it ``--calls`` times; everything the
+    instrumented pipeline recorded — including whatever the process ran
+    before this call — is rendered as fixed-width tables.
+    """
+    import numpy as np
+
+    from . import Component, RectDomain, Stencil, WeightArray, telemetry
+
+    if telemetry.mode() == "off":
+        print(
+            "telemetry is off (SNOWFLAKE_TELEMETRY=off); "
+            "nothing will be recorded"
+        )
+    n = int(args.size)
+    lap = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+    stencil = Stencil(lap, "out", RectDomain((1, 1), (-1, -1)))
+    kernel = stencil.compile(
+        backend=args.backend,
+        shapes={"u": (n, n), "out": (n, n)},
+        fallback=("c", "numpy"),
+    )
+    rng = np.random.default_rng(0)
+    u = rng.random((n, n))
+    out = np.zeros_like(u)
+    for _ in range(int(args.calls)):
+        kernel(u=u, out=out)
+    serving = getattr(kernel, "serving_backend", args.backend)
+    print(f"smoke kernel: {n}x{n} laplacian, served by {serving!r}")
+    print()
+    print(telemetry.render_stats())
+    if args.json:
+        path = telemetry.export_bench_json(args.json)
+        print(f"\nwrote {path}")
+    return 0
 
 
 _PROBE_SRC = "double sf_doctor_probe(void){ return 42.0; }\n"
@@ -173,6 +217,27 @@ def main(argv=None) -> int:
         "doctor",
         help="toolchain/cache self-check and degradation report",
     )
+    st = sub.add_parser(
+        "stats",
+        help="run a smoke kernel and print the telemetry report",
+    )
+    st.add_argument(
+        "--backend", default="c",
+        help="primary backend for the smoke kernel (default: c)",
+    )
+    st.add_argument(
+        "--size", type=int, default=64,
+        help="grid edge length for the smoke kernel (default: 64)",
+    )
+    st.add_argument(
+        "--calls", type=int, default=3,
+        help="kernel applications to record (default: 3)",
+    )
+    st.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the telemetry snapshot as JSON "
+        "(e.g. BENCH_pipeline.json)",
+    )
     fig = sub.add_parser("figures", help="regenerate paper figures")
     fig.add_argument("rest", nargs=argparse.REMAINDER)
     args = ap.parse_args(argv)
@@ -184,6 +249,8 @@ def main(argv=None) -> int:
         return cmd_selftest()
     if args.command == "doctor":
         return cmd_doctor()
+    if args.command == "stats":
+        return cmd_stats(args)
     if args.command == "figures":
         from .figures.__main__ import main as fig_main
 

@@ -12,12 +12,14 @@ register their own backends with :func:`register_backend`.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..core.stencil import StencilGroup
-from ..core.validate import check_arrays, check_group
+from ..core.validate import check_arrays, check_group, iteration_shape
 from ..resilience.faults import InjectedFault, fault_point
 from ..resilience.guards import Guards
 
@@ -69,19 +71,40 @@ class CompiledKernel:
     def _key(self, shapes: Mapping[str, tuple[int, ...]], dtype) -> tuple:
         return (tuple(sorted(shapes.items())), np.dtype(dtype).str)
 
-    def _get_impl(self, shapes, dtype) -> Callable:
+    def _points(self, shapes: Mapping[str, tuple[int, ...]]) -> int:
+        """Stencil applications of one call — the numerator of points/s."""
+        total = 0
+        for stencil in self.group:
+            it_shape = iteration_shape(stencil, shapes)
+            total += sum(
+                r.npoints
+                for r in stencil.domain.resolve(it_shape)
+                if not r.is_empty()
+            )
+        return total
+
+    def _get_impl(self, shapes, dtype) -> tuple[Callable, int]:
         key = self._key(shapes, dtype)
-        impl = self._cache.get(key)
-        if impl is None:
+        entry = self._cache.get(key)
+        if entry is None:
             check_group(self.group, shapes)
             if fault_point("backend.specialize"):
                 raise InjectedFault(
                     f"injected fault: specialize "
                     f"{self.backend_name or 'backend'} for {sorted(shapes)}"
                 )
+            name = self.backend_name or "backend"
+            t0 = time.perf_counter()
             impl = self._specialize(shapes, np.dtype(dtype))
-            self._cache[key] = impl
-        return impl
+            telemetry.record_time(
+                f"backend.{name}.specialize", time.perf_counter() - t0
+            )
+            telemetry.event(
+                "backend.specialize", backend=name, group=self.group.name
+            )
+            entry = (impl, self._points(shapes))
+            self._cache[key] = entry
+        return entry
 
     def __call__(self, **kwargs) -> None:
         grids = {}
@@ -106,14 +129,23 @@ class CompiledKernel:
                 f"kernel compiled for dtype {self._pinned_dtype}, got {dt}"
             )
         shapes = {g: a.shape for g, a in arrays.items()}
-        impl = self._get_impl(shapes, dt)
+        impl, points = self._get_impl(shapes, dt)
         if fault_point("backend.invoke"):
             raise InjectedFault(
                 f"injected fault: invoke {self.backend_name or 'backend'} "
                 f"kernel for {self.group.name!r}"
             )
         before = self.guards.snapshot_invariants(arrays)
-        impl(arrays, params)
+        if telemetry.enabled():
+            t0 = time.perf_counter()
+            impl(arrays, params)
+            telemetry.kernel_call(
+                self.backend_name or "backend",
+                time.perf_counter() - t0,
+                points,
+            )
+        else:
+            impl(arrays, params)
         self.guards.check_invariants(before, arrays)
         self.guards.scan_nonfinite(arrays, self._outputs)
 

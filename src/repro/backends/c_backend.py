@@ -18,6 +18,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from ..core.stencil import StencilGroup
 from .base import Backend, register_backend
 from .codegen_c import (
@@ -217,6 +218,8 @@ class CBackend(Backend):
                 group, shapes, dtype, tile=tile, multicolor=multicolor,
                 fuse=fuse,
             )
+            telemetry.count(f"codegen.{self.name}.sources")
+            telemetry.count(f"codegen.{self.name}.bytes", len(src))
             lib = compile_and_load(
                 src, openmp=self._openmp, timeout=cc_timeout
             )

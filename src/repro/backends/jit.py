@@ -38,9 +38,11 @@ import os
 import subprocess
 import tempfile
 import threading
+import time
 import warnings
 from pathlib import Path
 
+from .. import telemetry
 from ..resilience.faults import ResilienceWarning, fault_point
 
 __all__ = [
@@ -143,6 +145,8 @@ def sweep_orphans() -> int:
             n += 1
         except FileNotFoundError:
             pass
+    if n:
+        telemetry.count("jit.orphans_swept", n)
     return n
 
 
@@ -203,16 +207,20 @@ def _build(
         timeout = default_cc_timeout()
     if fault_point("jit.spawn"):
         raise CompileError(f"injected fault: compiler spawn ({cmd[0]})")
+    t0 = time.perf_counter()
     try:
         proc = subprocess.run(
             cmd, capture_output=True, text=True, timeout=timeout
         )
     except subprocess.TimeoutExpired:
         tmp_so.unlink(missing_ok=True)
+        telemetry.count("jit.cc.timeouts")
         raise CompileTimeout(
             f"compiler exceeded the {timeout:.0f}s hard timeout: "
             f"{' '.join(cmd)}"
         ) from None
+    telemetry.record_time("jit.cc", time.perf_counter() - t0)
+    telemetry.event("jit.cc", tag=tag, rc=proc.returncode)
     if proc.returncode != 0:
         tmp_so.unlink(missing_ok=True)
         raise CompileError(
@@ -245,9 +253,13 @@ def _materialize(
             corrupt.write_bytes(b"\x7fELF injected corruption")
             os.replace(corrupt, so_path)
         try:
-            return _load(so_path)
+            lib = _load(so_path)
+            telemetry.count("jit.cache.hit.disk")
+            return lib
         except OSError as e:
             bad = _quarantine(so_path)
+            telemetry.count("jit.quarantine")
+            telemetry.event("jit.quarantine", artifact=so_path.name)
             warnings.warn(
                 ResilienceWarning(
                     f"cached artifact {so_path.name} failed to load "
@@ -255,6 +267,7 @@ def _materialize(
                 ),
                 stacklevel=3,
             )
+    telemetry.count("jit.cache.miss")
     _build(tag, source, d, so_path, openmp, extra_flags, timeout)
     return _load(so_path)
 
@@ -275,12 +288,16 @@ def compile_and_load(
     with _lock:
         lib = _loaded.get(tag)
         if lib is not None:
+            telemetry.count("jit.cache.hit.memory")
             return lib
         tag_lock = _tag_locks.setdefault(tag, threading.Lock())
+    t0 = time.perf_counter()
     with tag_lock:
+        telemetry.record_time("jit.lock_wait", time.perf_counter() - t0)
         with _lock:
             lib = _loaded.get(tag)
             if lib is not None:
+                telemetry.count("jit.cache.hit.memory")
                 return lib
         lib = _materialize(tag, source, openmp, extra_flags, timeout)
         with _lock:

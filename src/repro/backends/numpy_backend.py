@@ -18,6 +18,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..analysis.dependence import is_parallel_safe
 from ..core.domains import ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
@@ -126,6 +127,7 @@ class NumpyBackend(Backend):
 
         def specialize(shapes, dtype) -> Callable:
             execs = [_StencilExec(s, shapes) for s in group]
+            telemetry.count("codegen.numpy.stencil_execs", len(execs))
 
             def impl(arrays, params):
                 for ex in execs:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from .. import telemetry
 from ..analysis.dag import plan
 from ..core.stencil import StencilGroup
 from .base import register_backend
@@ -159,6 +160,8 @@ class OpenMPBackend(CBackend):
                 tile=tile, multicolor=multicolor, schedule=schedule,
                 fuse=fuse,
             )
+            telemetry.count(f"codegen.{self.name}.sources")
+            telemetry.count(f"codegen.{self.name}.bytes", len(src))
             lib = compile_and_load(src, openmp=True, timeout=cc_timeout)
             ctx = CodegenContext(group, shapes, ctype_for(dtype))
             return make_ffi_wrapper(lib, "sf_kernel", ctx)

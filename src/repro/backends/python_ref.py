@@ -16,6 +16,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
 from .base import Backend, register_backend
@@ -70,6 +71,8 @@ class PythonBackend(Backend):
             raise TypeError(f"python backend takes no options, got {options}")
 
         def specialize(shapes, dtype) -> Callable:
+            telemetry.count("codegen.python.interpreted_stencils", len(group))
+
             def impl(arrays, params):
                 for stencil in group:
                     _apply_stencil(stencil, arrays, params, shapes)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..resilience.faults import fault_point
 
 __all__ = ["CommError", "SimComm"]
@@ -103,6 +104,7 @@ class SimComm:
         arr = np.array(data, copy=True)
         if fault_point("comm.send.drop"):
             self._fabric.stats.dropped += 1
+            telemetry.count("dmem.dropped")
             return
         if fault_point("comm.payload.corrupt") and arr.nbytes:
             # deterministic byte-flip on the wire copy: the high byte of
@@ -111,9 +113,12 @@ class SimComm:
             mid = (arr.size // 2) * arr.itemsize + (arr.itemsize - 1)
             arr.view(np.uint8).flat[mid] ^= 0xFF
             self._fabric.stats.corrupted += 1
+            telemetry.count("dmem.corrupted")
         self._fabric.boxes[(self._rank, dest, tag)].append(arr)
         self._fabric.stats.messages += 1
         self._fabric.stats.bytes_sent += arr.nbytes
+        telemetry.count("dmem.messages")
+        telemetry.count("dmem.bytes_sent", arr.nbytes)
 
     def recv(self, source: int, tag: int = 0) -> np.ndarray:
         """Receive the next matching message; raises on guaranteed deadlock."""
@@ -122,6 +127,7 @@ class SimComm:
         if box and fault_point("comm.recv.drop"):
             box.popleft()  # lost at delivery; the CommError below is
             self._fabric.stats.dropped += 1  # how the loss surfaces
+            telemetry.count("dmem.dropped")
         if not box:
             raise CommError(
                 f"rank {self._rank} recv(source={source}, tag={tag}): "
@@ -154,6 +160,7 @@ class SimComm:
         :class:`CommError` naming the offending mailboxes.
         """
         self._fabric.stats.barriers += 1
+        telemetry.count("dmem.barriers")
         if strict is None:
             strict = self._fabric.strict_barriers
         if strict:

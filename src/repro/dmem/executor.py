@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..core.domains import RectDomain, ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import check_group
@@ -270,10 +271,13 @@ class DistributedKernel:
         locals_ = getattr(self, "_locals", None)
         if locals_ is None:
             raise RuntimeError("call scatter(...) before run()")
+        telemetry.count("dmem.sweeps", times)
         for _ in range(times):
             for si in range(len(self.group)):
                 for g, w in self.read_halos[si].items():
-                    self._exchange(locals_, g, w)
+                    with telemetry.timed("dmem.exchange"):
+                        self._exchange(locals_, g, w)
+                    telemetry.count("dmem.exchanges")
                 for r in range(self.decomp.size):
                     entry = self._kernels[r][si]
                     if entry is None:

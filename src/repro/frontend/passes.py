@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from .. import telemetry
 from ..analysis.dag import greedy_phases
 from ..analysis.optimize import eliminate_dead_stencils, reorder_for_phases
 from ..core.stencil import StencilGroup
@@ -112,17 +113,28 @@ class PassManager:
         for p in self.passes:
             before_n = len(group)
             before_ph = len(greedy_phases(group, shapes))
-            group = p.run(group, shapes, live_grids)
+            with telemetry.timed(f"frontend.pass.{p.name}"):
+                group = p.run(group, shapes, live_grids)
             if self.validate_each:
                 check_group(group, shapes)
+            after_n = len(group)
+            if after_n < before_n:
+                telemetry.count(
+                    "frontend.stencils_eliminated", before_n - after_n
+                )
             self.records.append(
                 PassRecord(
                     p.name,
                     before_n,
-                    len(group),
+                    after_n,
                     before_ph,
                     len(greedy_phases(group, shapes)),
                 )
+            )
+            telemetry.event(
+                "frontend.pass",
+                pass_name=p.name,
+                stencils=after_n,
             )
         return group
 

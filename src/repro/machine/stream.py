@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import ctypes
 import time
+import warnings
 
 import numpy as np
 
@@ -86,5 +87,10 @@ def stream_dot_bandwidth(
         sink += dot(a, b)
         best = min(best, time.perf_counter() - t0)
     if sink == 0.0:  # pragma: no cover - keeps the loads observable
-        print("unexpected zero dot", sink)
+        warnings.warn(
+            f"stream_dot_bandwidth: dot product summed to {sink!r} on "
+            "random inputs — the compiler may have elided the loads and "
+            "the bandwidth figure cannot be trusted",
+            stacklevel=2,
+        )
     return 2.0 * 8.0 * n / best

@@ -41,6 +41,8 @@ from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from .. import telemetry
+
 __all__ = [
     "InjectedFault",
     "ResilienceWarning",
@@ -229,6 +231,8 @@ def fault_point(site: str) -> bool:
                 del _arms[site]
         _fired[site] += 1
         exc = a.exc
+    telemetry.count(f"faults.fired.{site}")
+    telemetry.event("faults.fired", site=site)
     if exc is not None:
         raise exc if isinstance(exc, BaseException) else exc(
             f"injected fault at {site!r}"

@@ -28,6 +28,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .. import telemetry
+
 __all__ = [
     "Guards",
     "GuardViolation",
@@ -114,6 +116,8 @@ class Guards:
         severity = getattr(self, check)
         if severity == "off":
             return
+        telemetry.count(f"guards.trip.{check}")
+        telemetry.event("guards.trip", check=check, severity=severity)
         if severity == "warn":
             warnings.warn(GuardWarning(f"[{check}] {message}"), stacklevel=3)
             return

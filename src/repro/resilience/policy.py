@@ -26,6 +26,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
+from .. import telemetry
 from ..backends.base import get_backend
 from ..backends.jit import CompileError, CompileTimeout
 from .faults import InjectedFault, ResilienceWarning
@@ -161,6 +162,7 @@ class ResilientKernel:
 
     def _current_name(self) -> str:
         if self._pos >= len(self.chain):
+            telemetry.count("resilience.chain_exhausted")
             raise BackendChainError(self.attempts)
         return self.chain[self._pos]
 
@@ -229,11 +231,23 @@ class ResilientKernel:
                     or attempt >= self.policy.max_retries
                 ):
                     raise
+                telemetry.count("resilience.retries")
+                telemetry.event(
+                    "resilience.retry",
+                    backend=self.chain[self._pos],
+                    error=type(e).__name__,
+                )
                 self.policy.sleep(delay)
                 delay *= 2
 
     def _fail(self, name: str, e: BaseException) -> None:
         self.attempts.append((name, f"{type(e).__name__}: {e}"))
+        telemetry.count("resilience.fallback.advances")
+        telemetry.event(
+            "resilience.fallback",
+            failed=name,
+            error=type(e).__name__,
+        )
         self._kernel = None
         self._serving = None
         self._pos += 1
@@ -243,6 +257,7 @@ class ResilientKernel:
         self._serving = name
         if name != self.chain[0] and not self._warned:
             self._warned = True
+            telemetry.count("resilience.fallback.activations")
             log = "; ".join(f"{b}: {e}" for b, e in self.attempts)
             warnings.warn(
                 DegradedExecution(

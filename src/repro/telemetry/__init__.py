@@ -1,0 +1,59 @@
+"""Pipeline telemetry: counters, timers, and traces with near-zero cost.
+
+"You cannot claim a hot path got faster without counters and traces" —
+this package is the observability layer under the repo's measurement
+discipline.  Every stage of the compile/execute pipeline reports here:
+
+* frontend passes (``frontend.pass.*`` timers, stencils eliminated),
+* the JIT (cache hit/miss/quarantine, compiler wall time, lock waits),
+* every backend's kernel invocations (calls, seconds, points/s),
+* the resilience layer (fallback activations, retries, guard trips,
+  injected faults fired),
+* the simulated distributed fabric (messages, bytes, barriers,
+  exchange wall time).
+
+Control with ``SNOWFLAKE_TELEMETRY=off|counters|trace`` (default
+``counters``; ``off`` reduces every hook to one cached string
+compare).  Read with :func:`snapshot`, export the perf trajectory with
+:func:`export_bench_json` (→ ``BENCH_pipeline.json``), or render a
+report with ``python -m repro stats``.
+"""
+
+from .registry import (
+    BENCH_SCHEMA,
+    MODES,
+    TRACE_CAPACITY,
+    count,
+    enabled,
+    event,
+    export_bench_json,
+    kernel_call,
+    mode,
+    record_time,
+    reset,
+    set_mode,
+    snapshot,
+    timed,
+    tracing,
+)
+from .report import format_stats, render_stats
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "MODES",
+    "TRACE_CAPACITY",
+    "count",
+    "enabled",
+    "event",
+    "export_bench_json",
+    "format_stats",
+    "kernel_call",
+    "mode",
+    "record_time",
+    "render_stats",
+    "reset",
+    "set_mode",
+    "snapshot",
+    "timed",
+    "tracing",
+]

@@ -1,0 +1,66 @@
+"""Render a telemetry snapshot as fixed-width :mod:`repro.util.tables`.
+
+The report is what ``python -m repro stats`` prints: one table per
+collection family (counters, timers, kernel invocations), diff-able
+and stable-sorted like every other benchmark table in the repo.
+"""
+
+from __future__ import annotations
+
+from ..util.tables import format_table
+from .registry import snapshot
+
+__all__ = ["format_stats", "render_stats"]
+
+
+def format_stats(snap: dict) -> str:
+    """Fixed-width report of one :func:`~repro.telemetry.snapshot`."""
+    blocks: list[str] = [f"telemetry mode: {snap.get('mode', '?')}"]
+
+    kernels = snap.get("kernels", {})
+    if kernels:
+        rows = [
+            [
+                backend,
+                k["calls"],
+                k["seconds"],
+                (k["points_per_s"] / 1e6 if k["points_per_s"] else "-"),
+                k["points"],
+            ]
+            for backend, k in sorted(kernels.items())
+        ]
+        blocks.append(
+            format_table(
+                ["backend", "calls", "seconds", "Mpoint/s", "points"],
+                rows,
+                title="kernel invocations",
+            )
+        )
+
+    timers = snap.get("timers", {})
+    if timers:
+        rows = [
+            [name, t["count"], t["total_s"], t["mean_s"], t["max_s"]]
+            for name, t in sorted(timers.items())
+        ]
+        blocks.append(
+            format_table(
+                ["timer", "count", "total_s", "mean_s", "max_s"],
+                rows,
+                title="timers",
+            )
+        )
+
+    counters = snap.get("counters", {})
+    if counters:
+        rows = [[name, n] for name, n in sorted(counters.items())]
+        blocks.append(format_table(["counter", "value"], rows, title="counters"))
+
+    if len(blocks) == 1:
+        blocks.append("(nothing recorded)")
+    return "\n\n".join(blocks)
+
+
+def render_stats() -> str:
+    """One-call convenience: snapshot the live registry and format it."""
+    return format_stats(snapshot())

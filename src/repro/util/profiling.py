@@ -16,8 +16,9 @@ import numpy as np
 
 from ..core.stencil import StencilGroup
 from ..core.validate import iteration_shape
+from .. import telemetry
 from .tables import format_table
-from .timing import best_of
+from .timing import best_of, clock_resolution
 
 __all__ = ["StencilProfile", "profile_group", "format_profile"]
 
@@ -27,8 +28,8 @@ class StencilProfile:
     name: str
     points: int
     seconds: float
-    stencils_per_s: float
-    share: float  # fraction of the whole group's measured time
+    stencils_per_s: float  # NaN when the timing is below clock resolution
+    share: float  # fraction of the whole group's measured time (NaN if none)
 
 
 def profile_group(
@@ -42,13 +43,23 @@ def profile_group(
 ) -> list[StencilProfile]:
     """Time each stencil of ``group`` separately.
 
-    ``arrays`` are scratch copies (stencils mutate them).  Member
-    stencils are compiled alone, so cross-stencil scheduling effects are
-    deliberately excluded — this answers "which *operator* is hot",
-    which is the question that decides tuning effort.
+    ``arrays`` provide shapes and initial values only — the profiler
+    runs every member stencil against internal scratch copies, so the
+    caller's arrays are never mutated.  Member stencils are compiled
+    alone, so cross-stencil scheduling effects are deliberately
+    excluded — this answers "which *operator* is hot", which is the
+    question that decides tuning effort.
+
+    Timings below the host's measured clock resolution are reported
+    honestly: ``stencils_per_s`` is NaN (never ``inf``), and when the
+    whole group is unresolved every ``share`` is NaN rather than an
+    invented split.  Each best-of time also lands in the telemetry
+    registry under the ``profile.<stencil>`` timer.
     """
     params = dict(params or {})
     shapes = {g: a.shape for g, a in arrays.items()}
+    scratch = {g: np.array(a, copy=True) for g, a in arrays.items()}
+    floor = clock_resolution()
     raw: list[tuple[str, int, float]] = []
     for stencil in group:
         sub = StencilGroup([stencil], name=stencil.name)
@@ -57,22 +68,24 @@ def profile_group(
             shapes={g: shapes[g] for g in sub.grids()},
             **backend_options,
         )
-        args = {g: arrays[g] for g in sub.grids()}
+        args = {g: scratch[g] for g in sub.grids()}
         pvals = {p: params[p] for p in sub.params()}
         t = best_of(lambda: kernel(**args, **pvals), warmup=1, repeats=repeats)
+        telemetry.record_time(f"profile.{stencil.name}", t)
         it_shape = iteration_shape(stencil, shapes)
         points = sum(
             r.npoints for r in stencil.domain.resolve(it_shape)
         )
         raw.append((stencil.name, points, t))
-    total = sum(t for _, _, t in raw) or 1.0
+    total = sum(t for _, _, t in raw)
+    resolved = total > floor
     return [
         StencilProfile(
             name=n,
             points=p,
             seconds=t,
-            stencils_per_s=(p / t if t > 0 else float("inf")),
-            share=t / total,
+            stencils_per_s=(p / t if t > floor else float("nan")),
+            share=(t / total if resolved else float("nan")),
         )
         for n, p, t in raw
     ]

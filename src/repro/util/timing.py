@@ -10,11 +10,41 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-__all__ = ["Timer", "best_of", "time_callable"]
+__all__ = ["Timer", "best_of", "time_callable", "clock_resolution"]
+
+_resolution: float | None = None
+
+
+def clock_resolution() -> float:
+    """Smallest trustworthy ``perf_counter`` interval on this host.
+
+    The max of the advertised clock resolution and the smallest
+    observable back-to-back tick (which includes call overhead) —
+    measured once and cached.  Durations at or below this floor carry
+    no information; rate computations must treat them as unresolved
+    rather than dividing by them.
+    """
+    global _resolution
+    if _resolution is None:
+        advertised = time.get_clock_info("perf_counter").resolution
+        tick = float("inf")
+        for _ in range(32):
+            a = time.perf_counter()
+            b = time.perf_counter()
+            while b <= a:  # pragma: no cover - coarse-clock hosts only
+                b = time.perf_counter()
+            tick = min(tick, b - a)
+        _resolution = max(advertised, tick)
+    return _resolution
 
 
 class Timer:
     """Context-manager stopwatch accumulating across entries.
+
+    Only *clean* exits are recorded: a timed body that raises is an
+    aborted run, and folding its partial duration into ``elapsed``
+    would silently pollute the mean.  Aborted entries are tallied in
+    ``aborted`` instead.
 
     >>> t = Timer()
     >>> with t:
@@ -25,19 +55,24 @@ class Timer:
     def __init__(self) -> None:
         self.elapsed = 0.0
         self.count = 0
+        self.aborted = 0
         self._t0 = 0.0
 
     def __enter__(self) -> "Timer":
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.aborted += 1
+            return
         self.elapsed += time.perf_counter() - self._t0
         self.count += 1
 
     def reset(self) -> None:
         self.elapsed = 0.0
         self.count = 0
+        self.aborted = 0
 
     @property
     def mean(self) -> float:

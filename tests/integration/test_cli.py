@@ -33,6 +33,34 @@ def test_requires_a_command():
     assert proc.returncode != 0
 
 
+def test_stats_reports_telemetry(tmp_path):
+    bench = tmp_path / "BENCH_pipeline.json"
+    proc = run_cli(
+        "stats", "--size", "32", "--calls", "2", "--json", str(bench)
+    )
+    assert proc.returncode == 0
+    assert "kernel invocations" in proc.stdout
+    assert "telemetry mode" in proc.stdout
+    import json
+
+    doc = json.loads(bench.read_text())
+    assert doc["schema"] == "snowflake-telemetry/1"
+    assert doc["kernels"], "smoke kernel calls must be recorded"
+
+
+def test_stats_respects_off_mode():
+    import os
+
+    env = dict(os.environ, SNOWFLAKE_TELEMETRY="off", PYTHONPATH="src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "stats", "--size", "16",
+         "--calls", "1", "--backend", "numpy"],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0
+    assert "telemetry is off" in proc.stdout
+
+
 def test_figures_passthrough():
     proc = run_cli("figures", "fig6", "--repeats", "1", timeout=600)
     assert proc.returncode == 0

@@ -1,0 +1,15 @@
+"""Telemetry tests get a clean, env-independent registry each time."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry(monkeypatch):
+    monkeypatch.delenv("SNOWFLAKE_TELEMETRY", raising=False)
+    telemetry.set_mode(None)
+    telemetry.reset()
+    yield
+    telemetry.set_mode(None)
+    telemetry.reset()

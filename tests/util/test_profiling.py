@@ -58,6 +58,29 @@ class TestProfileGroup:
         )
         assert len(profiles) == 1
 
+    def test_caller_arrays_never_mutated(self, rng):
+        # Regression: the profiler used to run kernels against the
+        # caller's arrays, so profiling overwrote the output grids.
+        g = make_group()
+        arrays = {k: rng.random((32, 32)) for k in g.grids()}
+        before = {k: a.copy() for k, a in arrays.items()}
+        profile_group(g, arrays, backend="numpy", repeats=1)
+        for k in arrays:
+            np.testing.assert_array_equal(arrays[k], before[k])
+
+    def test_sub_resolution_timings_are_nan_not_inf(self, rng, monkeypatch):
+        # Regression: a 0.0 best-of used to produce inf rates and an
+        # invented share split via the `total or 1.0` fallback.
+        monkeypatch.setattr(
+            "repro.util.profiling.best_of", lambda *a, **k: 0.0
+        )
+        g = make_group()
+        arrays = {k: rng.random((16, 16)) for k in g.grids()}
+        profiles = profile_group(g, arrays, backend="numpy", repeats=1)
+        for p in profiles:
+            assert np.isnan(p.stencils_per_s)
+            assert np.isnan(p.share)
+
     def test_report_renders(self, rng):
         g = make_group()
         arrays = {k: rng.random((32, 32)) for k in g.grids()}

@@ -5,7 +5,7 @@ import time
 import pytest
 
 from repro.util.tables import format_table
-from repro.util.timing import Timer, best_of, time_callable
+from repro.util.timing import Timer, best_of, clock_resolution, time_callable
 
 
 class TestTimer:
@@ -28,6 +28,44 @@ class TestTimer:
 
     def test_mean_of_empty_is_zero(self):
         assert Timer().mean == 0.0
+
+    def test_raised_body_does_not_accumulate(self):
+        # Regression: __exit__ used to record the aborted interval,
+        # poisoning elapsed/mean with partial work.
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("boom")
+        assert t.count == 0
+        assert t.elapsed == 0.0
+        assert t.aborted == 1
+
+    def test_clean_use_after_abort_records_normally(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError
+        with t:
+            pass
+        assert t.count == 1
+        assert t.aborted == 1
+
+    def test_reset_clears_aborted(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError
+        t.reset()
+        assert t.aborted == 0
+
+
+class TestClockResolution:
+    def test_positive_and_finite(self):
+        r = clock_resolution()
+        assert 0 < r < 1.0
+
+    def test_cached(self):
+        assert clock_resolution() == clock_resolution()
 
 
 class TestTiming:
