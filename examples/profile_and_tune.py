@@ -8,7 +8,10 @@ without measuring — to a Snowflake stencil pipeline:
 2. let the pass manager clean the group (dead-stencil elimination +
    barrier-minimizing reorder),
 3. autotune the tile size for the hot stencil's backend,
-4. compare the final tuned/fused kernel against the naive compile.
+4. compare the final tuned/fused kernel against the naive compile,
+5. record the whole tuned run as a span trace
+   (profile_and_tune.trace.json — open it in https://ui.perfetto.dev
+   to see passes, JIT compiles and kernel calls on a timeline).
 
 Run:  python examples/profile_and_tune.py
 """
@@ -27,6 +30,7 @@ from repro.hpgmg.operators import (
     residual_stencil,
     smooth_group,
 )
+from repro.telemetry import tracing
 from repro.tuning import autotune_tile
 from repro.util.profiling import format_profile, profile_group
 from repro.util.timing import best_of
@@ -81,3 +85,16 @@ print(f"\nnaive pipeline:      {naive * 1e3:7.3f} ms")
 print(f"optimized pipeline:  {tuned * 1e3:7.3f} ms "
       f"({naive / tuned:.2f}x, having dropped "
       f"{len(group) - len(optimized)} dead stencil(s))")
+
+# -- 5. trace the tuned pipeline -----------------------------------------------
+with tracing.session():
+    pipeline = default_pipeline()
+    traced = pipeline.run(group, shapes, live_grids={"x", "res"})
+    kernel = traced.compile(
+        backend="openmp", shapes=shapes, tile=tune.best_tile, fuse=True,
+    )
+    work = {k: arrays[k].copy() for k in traced.grids()}
+    kernel(**work)
+    tracing.export_chrome_trace("profile_and_tune.trace.json")
+print("\nwrote profile_and_tune.trace.json "
+      "(open in https://ui.perfetto.dev)")

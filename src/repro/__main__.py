@@ -9,6 +9,17 @@ Commands:
 * ``stats``     — run a smoke kernel through the instrumented pipeline
                   and print the telemetry report (``--json`` writes the
                   ``BENCH_pipeline.json`` perf-trajectory artifact)
+* ``trace``     — run a traced workload spanning frontend, analysis,
+                  JIT, kernel, resilience and dmem, and export a Chrome
+                  trace-event JSON viewable in Perfetto (``--smoke``
+                  exits nonzero unless the trace is valid and covers
+                  the expected subsystems)
+* ``explain``   — print the analysis provenance of a GSRB smoother
+                  group: intra-stencil verdicts, which grids forced
+                  each barrier, and the backend artifact identity
+* ``bench``     — time the paper's three operators per backend and
+                  attribute each rate against the machine roofline;
+                  writes the ``BENCH_kernels.json`` artifact
 * ``figures``   — alias for ``python -m repro.figures ...``
 """
 
@@ -113,6 +124,139 @@ def cmd_stats(args) -> int:
     if args.json:
         path = telemetry.export_bench_json(args.json)
         print(f"\nwrote {path}")
+    return 0
+
+
+def _gsrb_workload(n: int):
+    """The shared trace/explain workload: a 2-D GSRB smoother group.
+
+    Returns ``(group, shapes)``.  This group exercises every analysis
+    feature at once — boundary stencils, two in-place colored
+    half-sweeps, and barriers forced by the smoothed grid ``x``.
+    """
+    from .hpgmg.operators import cc_laplacian, smooth_group
+
+    group = smooth_group(2, cc_laplacian(2, 1.0 / n), lam=0.25)
+    shape = (n + 2, n + 2)
+    return group, {g: shape for g in group.grids()}
+
+
+def cmd_trace(args) -> int:
+    """Run a multi-subsystem workload under the span tracer and export.
+
+    The workload: GSRB smoother group through the frontend pipeline and
+    barrier planner, compiled with a fallback chain (JIT spans), applied
+    ``--calls`` times (kernel spans), then re-run on a 2-rank simulated
+    distributed executor (dmem halo/apply spans on per-rank lanes).
+    """
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from .analysis.dag import plan
+    from .dmem.executor import DistributedKernel
+    from .frontend.passes import optimize_group
+    from .telemetry import tracing
+
+    n = int(args.size)
+    group, shapes = _gsrb_workload(n)
+    shape = next(iter(shapes.values()))
+    rng = np.random.default_rng(0)
+
+    def make_arrays():
+        arrays = {g: rng.standard_normal(shape) for g in group.grids()}
+        arrays["x"] = np.zeros(shape)
+        return arrays
+
+    with tracing.session(fresh=True):
+        opt = optimize_group(group, shapes)
+        plan(opt, shapes)
+        kernel = opt.compile(
+            backend="c", shapes=shapes, fallback=("c", "numpy")
+        )
+        arrays = make_arrays()
+        for _ in range(int(args.calls)):
+            kernel(**arrays)
+        dk = DistributedKernel(group, shape, 2, backend="numpy")
+        dk(**make_arrays())
+        tracing.export_chrome_trace(args.out)
+
+    path = Path(args.out)
+    doc = json.loads(path.read_text())  # validate what was written
+    problems = tracing.validate_chrome_trace(doc)
+    events = doc.get("traceEvents", [])
+    cats = {e.get("cat") for e in events}
+    covered = sorted(cats & set(tracing.CATEGORIES))
+    print(f"wrote {path}: {len(events)} events "
+          f"(subsystems: {', '.join(covered)})")
+    print("view: load into https://ui.perfetto.dev or chrome://tracing")
+    for p in problems:
+        print(f"  INVALID: {p}")
+    if args.smoke:
+        required = {"frontend", "jit", "kernel", "dmem"}
+        missing = sorted(required - cats)
+        if problems or missing:
+            print(f"smoke: FAIL"
+                  + (f" (missing subsystems: {', '.join(missing)})"
+                     if missing else " (trace invalid)"))
+            return 1
+        print("smoke: PASS")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Render the analysis provenance of the GSRB smoother group."""
+    import json
+
+    from .explain import explain
+
+    group, shapes = _gsrb_workload(int(args.size))
+    prov = explain(
+        group, shapes, backend=args.backend, policy=args.policy
+    )
+    if args.json:
+        print(json.dumps(prov.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(prov.render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Roofline-attributed benchmark of the paper's three operators."""
+    import json
+    from pathlib import Path
+
+    from .bench import check_regression, run_bench, write_bench_kernels
+
+    backends = tuple(b for b in args.backends.split(",") if b)
+    doc = run_bench(
+        n=int(args.size), backends=backends, spec=args.spec,
+        calls=int(args.calls),
+    )
+    spec = doc["spec"]
+    print(f"machine: {spec['name']} "
+          f"({spec['stream_bw'] / 1e9:.1f} GB/s STREAM)")
+    for op, rec in doc["operators"].items():
+        print(f"{op}: {rec['bytes_per_point']:.0f} B/point, "
+              f"roofline {rec['roofline_points_per_s']:.3e} points/s")
+        for b, t in rec["backends"].items():
+            if "error" in t:
+                print(f"  {b:8s} ERROR: {t['error']}")
+            else:
+                print(f"  {b:8s} {t['points_per_s']:.3e} points/s "
+                      f"= {t['roofline_fraction'] * 100:5.1f}% of roofline")
+    if args.out:
+        print(f"wrote {write_bench_kernels(doc, args.out)}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        problems = check_regression(doc, baseline, float(args.tolerance))
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}")
+            return 1
+        print(f"regression check vs {args.check}: PASS "
+              f"(tolerance {float(args.tolerance) * 100:.0f}%)")
     return 0
 
 
@@ -238,6 +382,84 @@ def main(argv=None) -> int:
         help="also write the telemetry snapshot as JSON "
         "(e.g. BENCH_pipeline.json)",
     )
+    tr = sub.add_parser(
+        "trace",
+        help="run a traced workload and export Chrome trace-event JSON",
+    )
+    tr.add_argument(
+        "--smoke", action="store_true",
+        help="exit nonzero unless the trace validates and covers "
+        "frontend, jit, kernel and dmem",
+    )
+    tr.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="trace file to write (default: trace.json)",
+    )
+    tr.add_argument(
+        "--size", type=int, default=48,
+        help="interior grid edge length (default: 48)",
+    )
+    tr.add_argument(
+        "--calls", type=int, default=2,
+        help="kernel applications to trace (default: 2)",
+    )
+    ex = sub.add_parser(
+        "explain",
+        help="print analysis provenance for a GSRB smoother group",
+    )
+    ex.add_argument(
+        "--backend", default="c",
+        help="backend whose artifact identity to report (default: c)",
+    )
+    ex.add_argument(
+        "--policy", default="greedy",
+        help="barrier policy: greedy, wavefront, serial (default: greedy)",
+    )
+    ex.add_argument(
+        "--size", type=int, default=32,
+        help="interior grid edge length (default: 32)",
+    )
+    ex.add_argument(
+        "--json", action="store_true",
+        help="emit the provenance as JSON instead of the report",
+    )
+    be = sub.add_parser(
+        "bench",
+        help="roofline-attributed benchmark of the paper operators",
+    )
+    be.add_argument(
+        "--spec", default="paper-cpu",
+        help="machine model: host, paper-cpu, paper-gpu "
+        "(default: paper-cpu)",
+    )
+    be.add_argument(
+        "--backends", default=",".join(
+            ("c", "openmp", "numpy")
+        ),
+        help="comma-separated backends to time (default: c,openmp,numpy)",
+    )
+    be.add_argument(
+        "--size", type=int, default=32,
+        help="interior cubic grid edge length (default: 32)",
+    )
+    be.add_argument(
+        "--calls", type=int, default=3,
+        help="timed applications per backend, best-of (default: 3)",
+    )
+    be.add_argument(
+        "--out", metavar="PATH", default="BENCH_kernels.json",
+        help="artifact to write (default: BENCH_kernels.json); "
+        "empty string skips writing",
+    )
+    be.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH_kernels.json and exit "
+        "nonzero on regression",
+    )
+    be.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="fractional slowdown tolerated by --check (default: 0.25)",
+    )
     fig = sub.add_parser("figures", help="regenerate paper figures")
     fig.add_argument("rest", nargs=argparse.REMAINDER)
     args = ap.parse_args(argv)
@@ -251,6 +473,12 @@ def main(argv=None) -> int:
         return cmd_doctor()
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "explain":
+        return cmd_explain(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "figures":
         from .figures.__main__ import main as fig_main
 

@@ -12,6 +12,7 @@ from .dag import ExecutionPlan, build_dag, greedy_phases, plan, wavefront_phases
 from .dependence import (
     Hazard,
     cross_stencil_dependence,
+    group_dependence_details,
     group_dependences,
     intra_stencil_hazards,
     is_parallel_safe,
@@ -24,7 +25,13 @@ from .diophantine import (
     solve_linear_2var,
     solve_linear_nvar,
 )
-from .footprint import Access, StencilAccesses, stencil_accesses
+from .footprint import (
+    Access,
+    StencilAccesses,
+    access_conflict_details,
+    access_conflicts,
+    stencil_accesses,
+)
 from .interval import (
     interval_cross_stencil_dependence,
     interval_group_dependences,
@@ -51,6 +58,7 @@ __all__ = [
     "wavefront_phases",
     "Hazard",
     "cross_stencil_dependence",
+    "group_dependence_details",
     "group_dependences",
     "intra_stencil_hazards",
     "is_parallel_safe",
@@ -62,6 +70,8 @@ __all__ = [
     "solve_linear_nvar",
     "Access",
     "StencilAccesses",
+    "access_conflict_details",
+    "access_conflicts",
     "stencil_accesses",
     "interval_cross_stencil_dependence",
     "interval_group_dependences",

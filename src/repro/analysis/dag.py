@@ -16,7 +16,8 @@ from typing import Mapping, Sequence
 import networkx as nx
 
 from ..core.stencil import StencilGroup
-from .dependence import group_dependences
+from ..telemetry import tracing
+from .dependence import group_dependence_details, group_dependences
 
 __all__ = ["ExecutionPlan", "build_dag", "greedy_phases", "wavefront_phases", "plan"]
 
@@ -30,11 +31,21 @@ class ExecutionPlan:
     itself may be applied in parallel over its own domain (intra-stencil
     analysis) — backends use it to decide between a parallel loop and a
     serial sweep.
+
+    ``dependences`` keeps the raw edge set ``(i, j) -> kinds``;
+    ``dependence_grids`` refines each edge to ``{kind: grids}`` so
+    :meth:`describe` (and :mod:`repro.explain`) can name the grids whose
+    lattice intersections forced every barrier.  ``stencil_names``
+    carries the originating stencils' names for readable reports.
     """
 
     phases: tuple[tuple[int, ...], ...]
     parallel_within: tuple[bool, ...]
     dependences: Mapping[tuple[int, int], frozenset[str]] = field(default_factory=dict)
+    dependence_grids: Mapping[tuple[int, int], Mapping[str, frozenset[str]]] = field(
+        default_factory=dict
+    )
+    stencil_names: tuple[str, ...] = ()
 
     @property
     def n_barriers(self) -> int:
@@ -43,11 +54,58 @@ class ExecutionPlan:
     def stencil_count(self) -> int:
         return sum(len(p) for p in self.phases)
 
+    def barrier_edges(
+        self, k: int
+    ) -> list[tuple[tuple[int, int], dict[str, frozenset[str]]]]:
+        """Dependence edges crossing barrier ``k`` (phase ``k`` → ``k+1``).
+
+        These are the orderings the barrier enforces.  Each entry is
+        ``((i, j), {kind: grids})``; the grid sets come from
+        ``dependence_grids`` and fall back to empty sets when the plan
+        was built without detail (hand-constructed plans).
+        """
+        if not 0 <= k < self.n_barriers:
+            raise IndexError(f"barrier {k} out of range (n_barriers={self.n_barriers})")
+        before, after = set(self.phases[k]), set(self.phases[k + 1])
+        out: list[tuple[tuple[int, int], dict[str, frozenset[str]]]] = []
+        for (i, j), kinds in sorted(self.dependences.items()):
+            if i in before and j in after:
+                detail = self.dependence_grids.get((i, j))
+                if detail is None:
+                    detail = {kind: frozenset() for kind in sorted(kinds)}
+                out.append(((i, j), dict(detail)))
+        return out
+
+    def _label(self, i: int) -> str:
+        if i < len(self.stencil_names):
+            return f"{i}:{self.stencil_names[i]}"
+        return str(i)
+
     def describe(self) -> str:
+        """Human-readable plan: phases plus what forced every barrier.
+
+        Each barrier line names the dependence edges crossing it and the
+        grids carrying each dependence kind, e.g.
+        ``barrier 0: forced by 4:red->9:black RAW on x``.
+        """
         lines = []
         for k, ph in enumerate(self.phases):
-            members = ", ".join(str(i) for i in ph)
+            members = ", ".join(self._label(i) for i in ph)
             lines.append(f"phase {k}: [{members}]")
+            if k >= self.n_barriers:
+                continue
+            edges = self.barrier_edges(k)
+            if not edges:
+                lines.append(f"barrier {k}: policy order (no direct dependence)")
+                continue
+            parts = []
+            for (i, j), detail in edges:
+                kinds = "; ".join(
+                    f"{kind} on {', '.join(sorted(grids)) or '?'}"
+                    for kind, grids in sorted(detail.items())
+                )
+                parts.append(f"{self._label(i)}->{self._label(j)} {kinds}")
+            lines.append(f"barrier {k}: forced by " + " | ".join(parts))
         return "\n".join(lines)
 
 
@@ -115,18 +173,25 @@ def plan(
     """Produce the :class:`ExecutionPlan` a backend schedules from."""
     from .dependence import is_parallel_safe
 
-    if policy == "greedy":
-        phases = greedy_phases(group, shapes)
-    elif policy == "wavefront":
-        phases = wavefront_phases(group, shapes)
-    elif policy == "serial":
-        phases = [[i] for i in range(len(group))]
-    else:
-        raise ValueError(f"unknown scheduling policy {policy!r}")
-    deps = {
-        k: frozenset(v) for k, v in group_dependences(group, shapes).items()
-    }
-    par = tuple(is_parallel_safe(s, shapes) for s in group)
+    with tracing.span(
+        "plan", cat="analysis", group=group.name, policy=policy,
+        stencils=len(group),
+    ):
+        if policy == "greedy":
+            phases = greedy_phases(group, shapes)
+        elif policy == "wavefront":
+            phases = wavefront_phases(group, shapes)
+        elif policy == "serial":
+            phases = [[i] for i in range(len(group))]
+        else:
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        details = group_dependence_details(group, shapes)
+        deps = {edge: frozenset(kinds) for edge, kinds in details.items()}
+        par = tuple(is_parallel_safe(s, shapes) for s in group)
     return ExecutionPlan(
-        tuple(tuple(p) for p in phases), par, deps
+        tuple(tuple(p) for p in phases),
+        par,
+        deps,
+        details,
+        tuple(s.name for s in group),
     )

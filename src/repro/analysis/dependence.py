@@ -24,7 +24,13 @@ from typing import Mapping, Sequence
 from ..core.domains import ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
-from .footprint import access_conflicts, map_lattice, stencil_accesses
+from ..telemetry import tracing
+from .footprint import (
+    access_conflict_details,
+    access_conflicts,
+    map_lattice,
+    stencil_accesses,
+)
 
 __all__ = [
     "Hazard",
@@ -32,6 +38,7 @@ __all__ = [
     "is_parallel_safe",
     "cross_stencil_dependence",
     "group_dependences",
+    "group_dependence_details",
 ]
 
 
@@ -152,9 +159,35 @@ def group_dependences(
     """
     acc = [stencil_accesses(s, shapes) for s in group]
     out: dict[tuple[int, int], set[str]] = {}
-    for i in range(len(group)):
-        for j in range(i + 1, len(group)):
-            kinds = access_conflicts(acc[i], acc[j])
-            if kinds:
-                out[(i, j)] = kinds
+    with tracing.span(
+        "dependences", cat="analysis", group=group.name, stencils=len(group)
+    ):
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                kinds = access_conflicts(acc[i], acc[j])
+                if kinds:
+                    out[(i, j)] = kinds
+    return out
+
+
+def group_dependence_details(
+    group: StencilGroup, shapes: Mapping[str, Sequence[int]]
+) -> dict[tuple[int, int], dict[str, frozenset[str]]]:
+    """Pairwise dependences with the grids that carry each kind.
+
+    Same edges as :func:`group_dependences`, but each ``(i, j)`` maps to
+    ``{kind: grids}`` — the provenance an :class:`ExecutionPlan` records
+    so barrier placement stays explainable after the fact.
+    """
+    acc = [stencil_accesses(s, shapes) for s in group]
+    out: dict[tuple[int, int], dict[str, frozenset[str]]] = {}
+    with tracing.span(
+        "dependence-details", cat="analysis", group=group.name,
+        stencils=len(group),
+    ):
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                details = access_conflict_details(acc[i], acc[j])
+                if details:
+                    out[(i, j)] = details
     return out

@@ -17,7 +17,13 @@ from ..core.domains import ResolvedRect
 from ..core.stencil import Stencil
 from ..core.validate import iteration_shape
 
-__all__ = ["Access", "stencil_accesses", "StencilAccesses"]
+__all__ = [
+    "Access",
+    "stencil_accesses",
+    "StencilAccesses",
+    "access_conflicts",
+    "access_conflict_details",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,35 @@ def stencil_accesses(
                 Access(read.grid, map_lattice(rect, read.scale, read.offset), False)
             )
     return StencilAccesses(tuple(writes), tuple(reads))
+
+
+def access_conflict_details(
+    a: StencilAccesses, b: StencilAccesses
+) -> dict[str, frozenset[str]]:
+    """Dependence kinds *and the grids carrying them* between two stencils.
+
+    Returns ``{kind: grids}`` with kind in ``{"RAW", "WAR", "WAW"}``
+    where *a* is the earlier stencil: RAW = b reads what a wrote, WAR =
+    b overwrites what a read, WAW = both write the same cell.  Unlike
+    :func:`access_conflicts` this scans every access pair — the grid
+    sets are complete, which is what provenance reports
+    (:mod:`repro.explain`, ``ExecutionPlan.describe``) need to name
+    *every* grid that forced a barrier.
+    """
+    kinds: dict[str, set[str]] = {}
+    for w in a.writes:
+        for r in b.reads:
+            if w.intersects(r):
+                kinds.setdefault("RAW", set()).add(w.grid)
+    for r in a.reads:
+        for w in b.writes:
+            if r.intersects(w):
+                kinds.setdefault("WAR", set()).add(w.grid)
+    for w1 in a.writes:
+        for w2 in b.writes:
+            if w1.intersects(w2):
+                kinds.setdefault("WAW", set()).add(w1.grid)
+    return {k: frozenset(v) for k, v in kinds.items()}
 
 
 def access_conflicts(a: StencilAccesses, b: StencilAccesses) -> set[str]:

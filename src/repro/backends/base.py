@@ -95,7 +95,11 @@ class CompiledKernel:
                 )
             name = self.backend_name or "backend"
             t0 = time.perf_counter()
-            impl = self._specialize(shapes, np.dtype(dtype))
+            with telemetry.tracing.span(
+                f"specialize:{self.group.name}", cat="kernel",
+                backend=name, shapes=len(shapes),
+            ):
+                impl = self._specialize(shapes, np.dtype(dtype))
             telemetry.record_time(
                 f"backend.{name}.specialize", time.perf_counter() - t0
             )
@@ -136,16 +140,20 @@ class CompiledKernel:
                 f"kernel for {self.group.name!r}"
             )
         before = self.guards.snapshot_invariants(arrays)
-        if telemetry.enabled():
-            t0 = time.perf_counter()
-            impl(arrays, params)
-            telemetry.kernel_call(
-                self.backend_name or "backend",
-                time.perf_counter() - t0,
-                points,
-            )
-        else:
-            impl(arrays, params)
+        with telemetry.tracing.span(
+            f"kernel:{self.group.name}", cat="kernel",
+            backend=self.backend_name or "backend", points=points,
+        ):
+            if telemetry.enabled():
+                t0 = time.perf_counter()
+                impl(arrays, params)
+                telemetry.kernel_call(
+                    self.backend_name or "backend",
+                    time.perf_counter() - t0,
+                    points,
+                )
+            else:
+                impl(arrays, params)
         self.guards.check_invariants(before, arrays)
         self.guards.scan_nonfinite(arrays, self._outputs)
 
@@ -176,6 +184,23 @@ class Backend(abc.ABC):
         dtype) combination and must return
         ``impl(arrays: dict[str, ndarray], params: dict[str, float])``.
         """
+
+    def artifact_info(
+        self,
+        group: StencilGroup,
+        shapes: Mapping[str, Sequence[int]],
+        dtype=None,
+        **options,
+    ) -> dict | None:
+        """Provenance of the artifact :meth:`compile` would produce.
+
+        JIT backends return ``{"backend", "cache_key", "source_path",
+        "artifact_path", "cached", "source_bytes"}`` (in-process program
+        generators add ``"in_process": True`` and omit paths); pure
+        interpreter backends return ``None``.  Must not compile anything
+        — provenance queries (:mod:`repro.explain`) stay cheap.
+        """
+        return None
 
     def compile(
         self,

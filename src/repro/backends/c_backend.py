@@ -28,7 +28,7 @@ from .codegen_c import (
     ctype_for,
     snapshot_decl,
 )
-from .jit import compile_and_load
+from .jit import cache_dir, compile_and_load, source_tag
 
 __all__ = [
     "CBackend",
@@ -205,19 +205,29 @@ class CBackend(Backend):
     _openmp = False
     requires_toolchain = True
 
-    def specializer(self, group: StencilGroup, **options):
-        tile = options.pop("tile", None)
-        multicolor = options.pop("multicolor", True)
-        fuse = options.pop("fuse", False)
+    #: codegen knobs and their defaults; subclasses override to change
+    #: the option vocabulary without touching the specialize pipeline
+    _DEFAULTS: Mapping[str, object] = {
+        "tile": None, "multicolor": True, "fuse": False,
+    }
+
+    def _codegen_options(self, options: dict) -> tuple[dict, float | None]:
+        """Split user options into (codegen knobs, cc_timeout).
+
+        Consumes ``options``; anything left over is unknown and raises,
+        so the :class:`CompiledKernel` surface stays typo-safe.
+        """
+        knobs = {k: options.pop(k, v) for k, v in self._DEFAULTS.items()}
         cc_timeout = options.pop("cc_timeout", None)
         if options:
             raise TypeError(f"unknown options for {self.name!r}: {options}")
+        return knobs, cc_timeout
+
+    def specializer(self, group: StencilGroup, **options):
+        knobs, cc_timeout = self._codegen_options(options)
 
         def specialize(shapes, dtype) -> Callable:
-            src = self.generate(
-                group, shapes, dtype, tile=tile, multicolor=multicolor,
-                fuse=fuse,
-            )
+            src = self.generate(group, shapes, dtype, **knobs)
             telemetry.count(f"codegen.{self.name}.sources")
             telemetry.count(f"codegen.{self.name}.bytes", len(src))
             lib = compile_and_load(
@@ -228,11 +238,34 @@ class CBackend(Backend):
 
         return specialize
 
-    def generate(self, group, shapes, dtype, *, tile, multicolor, fuse=False) -> str:
+    def generate(self, group, shapes, dtype, **knobs) -> str:
         """Source-generation hook (overridden by the OpenMP backend)."""
-        return generate_c_source(
-            group, shapes, dtype, tile=tile, multicolor=multicolor, fuse=fuse
-        )
+        return generate_c_source(group, shapes, dtype, **knobs)
+
+    def artifact_info(self, group, shapes, dtype=None, **options):
+        """Cache identity of the artifact this group would compile to.
+
+        Renders the source (cheap) but never invokes the compiler:
+        ``cache_key`` is the JIT tag, ``source_path``/``artifact_path``
+        are where :func:`~repro.backends.jit.compile_and_load` keeps
+        ``sf_<tag>.c`` / ``sf_<tag>.so``, and ``cached`` says whether
+        the shared object is already on disk.
+        """
+        knobs, _ = self._codegen_options(dict(options))
+        shapes = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+        dt = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        src = self.generate(group, shapes, dt, **knobs)
+        tag = source_tag(src, openmp=self._openmp)
+        d = cache_dir()
+        so = d / f"sf_{tag}.so"
+        return {
+            "backend": self.name,
+            "cache_key": tag,
+            "source_path": str(d / f"sf_{tag}.c"),
+            "artifact_path": str(so),
+            "cached": so.exists(),
+            "source_bytes": len(src),
+        }
 
 
 register_backend(CBackend(), "c99")

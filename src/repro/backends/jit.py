@@ -44,6 +44,7 @@ from pathlib import Path
 
 from .. import telemetry
 from ..resilience.faults import ResilienceWarning, fault_point
+from ..telemetry import tracing
 
 __all__ = [
     "CompileError",
@@ -53,6 +54,7 @@ __all__ = [
     "clear_disk_cache",
     "sweep_orphans",
     "default_cc_timeout",
+    "source_tag",
 ]
 
 
@@ -165,6 +167,20 @@ def _tag(
     ).hexdigest()[:24]
 
 
+def source_tag(
+    source: str,
+    openmp: bool = False,
+    extra_flags: tuple[str, ...] = (),
+) -> str:
+    """The cache key :func:`compile_and_load` would use for ``source``.
+
+    Public so provenance reports (:mod:`repro.explain`) can name the
+    exact cached artifact (``sf_<tag>.c`` / ``sf_<tag>.so`` under
+    :func:`cache_dir`) without compiling anything.
+    """
+    return _tag(source, openmp, extra_flags)
+
+
 def _quarantine(so_path: Path) -> Path:
     """Move a bad artifact out of the compile path; never raises."""
     bad = so_path.with_name(so_path.name + ".bad")
@@ -209,9 +225,10 @@ def _build(
         raise CompileError(f"injected fault: compiler spawn ({cmd[0]})")
     t0 = time.perf_counter()
     try:
-        proc = subprocess.run(
-            cmd, capture_output=True, text=True, timeout=timeout
-        )
+        with tracing.span("cc", cat="jit", tag=tag, cc=cmd[0], openmp=openmp):
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=timeout
+            )
     except subprocess.TimeoutExpired:
         tmp_so.unlink(missing_ok=True)
         telemetry.count("jit.cc.timeouts")
@@ -292,14 +309,15 @@ def compile_and_load(
             return lib
         tag_lock = _tag_locks.setdefault(tag, threading.Lock())
     t0 = time.perf_counter()
-    with tag_lock:
-        telemetry.record_time("jit.lock_wait", time.perf_counter() - t0)
-        with _lock:
-            lib = _loaded.get(tag)
-            if lib is not None:
-                telemetry.count("jit.cache.hit.memory")
-                return lib
-        lib = _materialize(tag, source, openmp, extra_flags, timeout)
-        with _lock:
-            _loaded[tag] = lib
+    with tracing.span("compile_and_load", cat="jit", tag=tag, openmp=openmp):
+        with tag_lock:
+            telemetry.record_time("jit.lock_wait", time.perf_counter() - t0)
+            with _lock:
+                lib = _loaded.get(tag)
+                if lib is not None:
+                    telemetry.count("jit.cache.hit.memory")
+                    return lib
+            lib = _materialize(tag, source, openmp, extra_flags, timeout)
+            with _lock:
+                _loaded[tag] = lib
     return lib

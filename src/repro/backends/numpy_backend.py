@@ -130,8 +130,16 @@ class NumpyBackend(Backend):
             telemetry.count("codegen.numpy.stencil_execs", len(execs))
 
             def impl(arrays, params):
-                for ex in execs:
-                    ex.run(arrays, params)
+                if telemetry.tracing.active():
+                    for ex in execs:
+                        with telemetry.tracing.span(
+                            f"stencil:{ex.stencil.name}", cat="kernel",
+                            backend="numpy",
+                        ):
+                            ex.run(arrays, params)
+                else:
+                    for ex in execs:
+                        ex.run(arrays, params)
 
             return impl
 

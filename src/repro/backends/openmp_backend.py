@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from .. import telemetry
 from ..analysis.dag import plan
 from ..core.stencil import StencilGroup
 from .base import register_backend
@@ -27,7 +26,6 @@ from .codegen_c import (
     CodegenContext,
     StencilLoops,
     ctype_for,
-    snapshot_decl,
 )
 
 __all__ = ["OpenMPBackend", "generate_openmp_source"]
@@ -142,31 +140,12 @@ class OpenMPBackend(CBackend):
     name = "openmp"
     _openmp = True
 
-    def specializer(self, group: StencilGroup, **options):
-        tile = options.pop("tile", 8)
-        multicolor = options.pop("multicolor", True)
-        schedule = options.pop("schedule", "greedy")
-        fuse = options.pop("fuse", False)
-        cc_timeout = options.pop("cc_timeout", None)
-        if options:
-            raise TypeError(f"unknown options for {self.name!r}: {options}")
+    _DEFAULTS = {
+        "tile": 8, "multicolor": True, "schedule": "greedy", "fuse": False,
+    }
 
-        def specialize(shapes, dtype):
-            from .c_backend import make_ffi_wrapper
-            from .jit import compile_and_load
-
-            src = generate_openmp_source(
-                group, shapes, dtype,
-                tile=tile, multicolor=multicolor, schedule=schedule,
-                fuse=fuse,
-            )
-            telemetry.count(f"codegen.{self.name}.sources")
-            telemetry.count(f"codegen.{self.name}.bytes", len(src))
-            lib = compile_and_load(src, openmp=True, timeout=cc_timeout)
-            ctx = CodegenContext(group, shapes, ctype_for(dtype))
-            return make_ffi_wrapper(lib, "sf_kernel", ctx)
-
-        return specialize
+    def generate(self, group, shapes, dtype, **knobs) -> str:
+        return generate_openmp_source(group, shapes, dtype, **knobs)
 
 
 register_backend(OpenMPBackend(), "omp")

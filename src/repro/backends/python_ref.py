@@ -74,8 +74,16 @@ class PythonBackend(Backend):
             telemetry.count("codegen.python.interpreted_stencils", len(group))
 
             def impl(arrays, params):
-                for stencil in group:
-                    _apply_stencil(stencil, arrays, params, shapes)
+                if telemetry.tracing.active():
+                    for stencil in group:
+                        with telemetry.tracing.span(
+                            f"stencil:{stencil.name}", cat="kernel",
+                            backend="python",
+                        ):
+                            _apply_stencil(stencil, arrays, params, shapes)
+                else:
+                    for stencil in group:
+                        _apply_stencil(stencil, arrays, params, shapes)
 
             return impl
 

@@ -1,0 +1,248 @@
+"""Roofline-attributed kernel benchmark (paper SectionV-B).
+
+Times the paper's three measured operators — the constant-coefficient
+7-point Laplacian (``cc_7pt``, 24 bytes/point), the constant-coefficient
+weighted-Jacobi smoother (``cc_jacobi``, 40 bytes/point) and the
+variable-coefficient GSRB half-sweep (``vc_gsrb``, 64 bytes/point) — on
+each requested backend, and attributes every achieved rate as a fraction
+of the machine's Roofline bound
+
+    roofline points/s = effective_bandwidth(working_set) / bytes_per_point
+
+so a number like ``0.6`` means "60% of the memory-bandwidth speed of
+light", which is comparable across machines in a way raw points/s never
+is.  Results are written as the schema-tagged ``BENCH_kernels.json``
+artifact the CI bench job diffs against its committed baseline
+(:func:`check_regression`).
+
+Run with ``python -m repro bench``; pick the machine model with
+``--spec host|paper-cpu|paper-gpu`` (the paper specs cost nothing,
+``host`` measures STREAM bandwidth first).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .core.stencil import Stencil
+from .core.validate import iteration_shape
+from .hpgmg.operators import (
+    cc_laplacian,
+    gsrb_stencils,
+    interior,
+    jacobi_stencil,
+    vc_laplacian,
+)
+from .machine.roofline import (
+    PAPER_BYTES_PER_STENCIL,
+    bytes_per_point,
+    roofline_stencils_per_s,
+)
+from .machine.specs import PAPER_PLATFORMS, MachineSpec, host_spec
+from .telemetry import tracing
+
+__all__ = [
+    "BENCH_KERNELS_SCHEMA",
+    "DEFAULT_BACKENDS",
+    "paper_operators",
+    "resolve_spec",
+    "run_bench",
+    "write_bench_kernels",
+    "check_regression",
+]
+
+#: schema tag stamped into BENCH_kernels.json
+BENCH_KERNELS_SCHEMA = "snowflake-bench-kernels/1"
+
+#: backends timed when the caller does not choose
+DEFAULT_BACKENDS = ("c", "openmp", "numpy")
+
+
+def paper_operators(n: int = 32) -> dict[str, Stencil]:
+    """The three operators of SectionV-B on an ``n``-interior cubic grid.
+
+    Each is constructed so its analytic :func:`bytes_per_point` equals
+    the paper constant (24 / 40 / 64) exactly — the roofline-paper
+    coverage test pins this.
+    """
+    h = 1.0 / n
+    cc7 = Stencil(cc_laplacian(3, h), "out", interior(3), name="cc_7pt")
+    jac = jacobi_stencil(3, cc_laplacian(3, h), lam="lam")
+    vc = vc_laplacian(3, h, a=1.0, alpha_grid="alpha")
+    red, _ = gsrb_stencils(3, vc, lam="lam")
+    jac.name, red.name = "cc_jacobi", "vc_gsrb"  # report the paper's names
+    return {"cc_7pt": cc7, "cc_jacobi": jac, "vc_gsrb": red}
+
+
+def resolve_spec(name: str = "host") -> MachineSpec:
+    """Map a CLI spec name to a :class:`MachineSpec`.
+
+    ``host`` measures STREAM bandwidth on first use; ``paper-cpu`` /
+    ``paper-gpu`` are the paper's testbed records and cost nothing —
+    tests and CI use them for determinism.
+    """
+    if name == "host":
+        return host_spec(measure=True)
+    if name in ("paper-cpu", "cpu"):
+        return PAPER_PLATFORMS["cpu"]
+    if name in ("paper-gpu", "gpu"):
+        return PAPER_PLATFORMS["gpu"]
+    raise ValueError(
+        f"unknown spec {name!r}; choose host, paper-cpu or paper-gpu"
+    )
+
+
+def _points(stencil: Stencil, shapes: Mapping[str, tuple[int, ...]]) -> int:
+    it_shape = iteration_shape(stencil, shapes)
+    return sum(
+        r.npoints
+        for r in stencil.domain.resolve(it_shape)
+        if not r.is_empty()
+    )
+
+
+def _time_backend(
+    stencil: Stencil,
+    backend: str,
+    shapes: Mapping[str, tuple[int, ...]],
+    arrays: Mapping[str, np.ndarray],
+    calls: int,
+) -> dict:
+    """Best-of-``calls`` wall time of one backend on one operator.
+
+    Compile failures (no toolchain, codegen bug) are *data*, not a
+    crash: the record carries ``{"error": ...}`` and the bench goes on.
+    """
+    try:
+        kernel = stencil.compile(backend=backend, shapes=shapes, dtype=np.float64)
+    except Exception as e:  # noqa: BLE001 - any backend failure is reportable
+        return {"error": f"{type(e).__name__}: {e}"}
+    work = {g: a.copy() for g, a in arrays.items()}
+    kernel(**work)  # warmup: specialization + caches out of the timing
+    best = float("inf")
+    for _ in range(calls):
+        t0 = time.perf_counter()
+        kernel(**work)
+        best = min(best, time.perf_counter() - t0)
+    return {"seconds_per_call": best, "calls": calls}
+
+
+def run_bench(
+    *,
+    n: int = 32,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    spec: MachineSpec | str = "paper-cpu",
+    calls: int = 3,
+    seed: int = 20170529,
+) -> dict:
+    """Benchmark the paper operators and attribute against the roofline.
+
+    Returns the ``BENCH_kernels.json`` document (see
+    :func:`write_bench_kernels` for the schema).
+    """
+    import platform
+    import sys
+
+    from . import __version__
+
+    if isinstance(spec, str):
+        spec = resolve_spec(spec)
+    rng = np.random.default_rng(seed)
+    operators = paper_operators(n)
+    doc: dict = {
+        "schema": BENCH_KERNELS_SCHEMA,
+        "version": __version__,
+        "unix_time": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": sys.version.split()[0],
+        },
+        "spec": {
+            "name": spec.name,
+            "kind": spec.kind,
+            "stream_bw": spec.stream_bw,
+            "cache_bytes": spec.cache_bytes,
+            "cache_bw": spec.cache_bw,
+        },
+        "size": n,
+        "operators": {},
+    }
+    shape = (n + 2,) * 3
+    for op_name, stencil in operators.items():
+        with tracing.span("bench", cat="kernel", operator=op_name):
+            shapes = {g: shape for g in stencil.grids()}
+            arrays = {
+                g: rng.standard_normal(shape) for g in stencil.grids()
+            }
+            # a singular 1/diag grid would make GSRB explode, not slow
+            for g in arrays:
+                if g == "lam":
+                    arrays[g] = np.abs(arrays[g]) * 0.01 + 0.01
+            points = _points(stencil, shapes)
+            working_set = sum(a.nbytes for a in arrays.values())
+            bpp = bytes_per_point(stencil)
+            roofline_pps = roofline_stencils_per_s(spec, bpp, working_set)
+            record: dict = {
+                "bytes_per_point": bpp,
+                "paper_bytes_per_point": PAPER_BYTES_PER_STENCIL.get(op_name),
+                "points": points,
+                "working_set_bytes": working_set,
+                "roofline_points_per_s": roofline_pps,
+                "backends": {},
+            }
+            for b in backends:
+                timing = _time_backend(stencil, b, shapes, arrays, calls)
+                if "seconds_per_call" in timing:
+                    pps = points / timing["seconds_per_call"]
+                    timing["points_per_s"] = pps
+                    timing["roofline_fraction"] = pps / roofline_pps
+                record["backends"][b] = timing
+            doc["operators"][op_name] = record
+    return doc
+
+
+def write_bench_kernels(
+    doc: dict, path: "str | Path" = "BENCH_kernels.json"
+) -> Path:
+    """Serialize a :func:`run_bench` document; returns the path written."""
+    p = Path(path)
+    p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def check_regression(
+    new: dict, baseline: dict, tolerance: float = 0.25
+) -> list[str]:
+    """Compare two bench documents; returns the list of regressions.
+
+    A regression is any (operator, backend) whose ``points_per_s``
+    dropped more than ``tolerance`` (fractional) below the baseline.
+    Operators/backends missing from either side are skipped — a CI
+    runner without gcc must not fail the job on coverage it never had.
+    """
+    problems: list[str] = []
+    for op, base_rec in baseline.get("operators", {}).items():
+        new_rec = new.get("operators", {}).get(op)
+        if new_rec is None:
+            continue
+        for b, base_timing in base_rec.get("backends", {}).items():
+            new_timing = new_rec.get("backends", {}).get(b)
+            if not new_timing or "points_per_s" not in new_timing:
+                continue
+            if "points_per_s" not in base_timing:
+                continue
+            old_pps = base_timing["points_per_s"]
+            new_pps = new_timing["points_per_s"]
+            if new_pps < old_pps * (1.0 - tolerance):
+                problems.append(
+                    f"{op}/{b}: {new_pps:.3e} points/s is "
+                    f"{(1 - new_pps / old_pps) * 100:.0f}% below the "
+                    f"baseline {old_pps:.3e}"
+                )
+    return problems

@@ -161,6 +161,9 @@ class SimComm:
         """
         self._fabric.stats.barriers += 1
         telemetry.count("dmem.barriers")
+        telemetry.tracing.instant(
+            "barrier", cat="dmem", lane=f"rank {self._rank}",
+        )
         if strict is None:
             strict = self._fabric.strict_barriers
         if strict:

@@ -193,6 +193,10 @@ class DistributedKernel:
         checked = self.guards.halo_checksum != "off"
         # enqueue all sends first (lock-step driver: no ordering hazards)
         for s in self.decomp.slabs:
+            telemetry.tracing.instant(
+                "halo.send", cat="dmem", lane=f"rank {s.rank}",
+                grid=grid, width=width,
+            )
             arr = locals_[s.rank][grid]
             if s.rank > 0:
                 lo = s.local_own_lo
@@ -275,7 +279,10 @@ class DistributedKernel:
         for _ in range(times):
             for si in range(len(self.group)):
                 for g, w in self.read_halos[si].items():
-                    with telemetry.timed("dmem.exchange"):
+                    with telemetry.tracing.span(
+                        f"halo:{g}", cat="dmem",
+                        width=w, ranks=self.decomp.size,
+                    ), telemetry.timed("dmem.exchange"):
                         self._exchange(locals_, g, w)
                     telemetry.count("dmem.exchanges")
                 for r in range(self.decomp.size):
@@ -283,7 +290,11 @@ class DistributedKernel:
                     if entry is None:
                         continue
                     local, kernel = entry
-                    kernel(**{g: locals_[r][g] for g in local.grids()})
+                    with telemetry.tracing.span(
+                        f"apply:{local.name}", cat="dmem",
+                        lane=f"rank {r}",
+                    ):
+                        kernel(**{g: locals_[r][g] for g in local.grids()})
 
     def gather(self, **global_arrays: np.ndarray) -> None:
         """Write every output grid's owned rows back into global arrays."""

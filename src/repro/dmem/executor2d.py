@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..core.domains import RectDomain, ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import check_group
@@ -263,14 +264,21 @@ class DistributedKernel2D:
             for g, (w0, w1) in self.read_halos[si].items():
                 # dim-1 first, then dim-0 spanning dim-1 halos: corners
                 # arrive transitively.
-                self._exchange_dim(locals_, g, 1, w1)
-                self._exchange_dim(locals_, g, 0, w0)
+                with telemetry.tracing.span(
+                    f"halo:{g}", cat="dmem",
+                    widths=[w0, w1], ranks=self.p0 * self.p1,
+                ):
+                    self._exchange_dim(locals_, g, 1, w1)
+                    self._exchange_dim(locals_, g, 0, w0)
             for me in range(self.p0 * self.p1):
                 entry = self._kernels[me][si]
                 if entry is None:
                     continue
                 local, kernel = entry
-                kernel(**{g: locals_[me][g] for g in local.grids()})
+                with telemetry.tracing.span(
+                    f"apply:{local.name}", cat="dmem", lane=f"rank {me}",
+                ):
+                    kernel(**{g: locals_[me][g] for g in local.grids()})
 
         outputs = {st.output for st in self.group}
         for g in outputs:

@@ -113,7 +113,10 @@ class PassManager:
         for p in self.passes:
             before_n = len(group)
             before_ph = len(greedy_phases(group, shapes))
-            with telemetry.timed(f"frontend.pass.{p.name}"):
+            with telemetry.tracing.span(
+                f"pass:{p.name}", cat="frontend",
+                group=group.name, stencils_in=before_n,
+            ), telemetry.timed(f"frontend.pass.{p.name}"):
                 group = p.run(group, shapes, live_grids)
             if self.validate_each:
                 check_group(group, shapes)

@@ -180,26 +180,32 @@ class ResilientKernel:
         be = get_backend(name)
 
         def make():
-            opts = self._options_for(name)
-            try:
-                return be.compile(
-                    self.group,
-                    shapes=self._shapes,
-                    dtype=self._dtype,
-                    **opts,
-                )
-            except TypeError as e:
-                # A chain may cross backend families with different
-                # option vocabularies (e.g. openmp's `tile` means
-                # nothing to numpy): retry bare rather than dying on a
-                # tuning knob.
-                if opts and "option" in str(e):
-                    return be.compile(
-                        self.group, shapes=self._shapes, dtype=self._dtype
-                    )
-                raise
-
+            with telemetry.tracing.span(
+                f"build:{name}", cat="resilience",
+                group=getattr(self.group, "name", "?"),
+            ):
+                return self._compile_on(be, name)
         return self._with_retries(make)
+
+    def _compile_on(self, be, name: str):
+        opts = self._options_for(name)
+        try:
+            return be.compile(
+                self.group,
+                shapes=self._shapes,
+                dtype=self._dtype,
+                **opts,
+            )
+        except TypeError as e:
+            # A chain may cross backend families with different
+            # option vocabularies (e.g. openmp's `tile` means
+            # nothing to numpy): retry bare rather than dying on a
+            # tuning knob.
+            if opts and "option" in str(e):
+                return be.compile(
+                    self.group, shapes=self._shapes, dtype=self._dtype
+                )
+            raise
 
     def _ensure_kernel(self):
         while self._kernel is None:
@@ -237,6 +243,12 @@ class ResilientKernel:
                     backend=self.chain[self._pos],
                     error=type(e).__name__,
                 )
+                telemetry.tracing.instant(
+                    "retry", cat="resilience",
+                    backend=self.chain[self._pos],
+                    error=type(e).__name__,
+                    attempt=attempt + 1,
+                )
                 self.policy.sleep(delay)
                 delay *= 2
 
@@ -248,6 +260,14 @@ class ResilientKernel:
             failed=name,
             error=type(e).__name__,
         )
+        next_name = (
+            self.chain[self._pos + 1]
+            if self._pos + 1 < len(self.chain) else None
+        )
+        telemetry.tracing.instant(
+            "fallback", cat="resilience",
+            failed=name, error=type(e).__name__, next=next_name,
+        )
         self._kernel = None
         self._serving = None
         self._pos += 1
@@ -258,6 +278,10 @@ class ResilientKernel:
         if name != self.chain[0] and not self._warned:
             self._warned = True
             telemetry.count("resilience.fallback.activations")
+            telemetry.tracing.instant(
+                "degraded", cat="resilience",
+                primary=self.chain[0], serving=name,
+            )
             log = "; ".join(f"{b}: {e}" for b, e in self.attempts)
             warnings.warn(
                 DegradedExecution(

@@ -1,4 +1,4 @@
-"""Pipeline telemetry: counters, timers, and traces with near-zero cost.
+"""Pipeline telemetry: counters, timers, traces with near-zero cost.
 
 "You cannot claim a hot path got faster without counters and traces" —
 this package is the observability layer under the repo's measurement
@@ -12,13 +12,22 @@ discipline.  Every stage of the compile/execute pipeline reports here:
 * the simulated distributed fabric (messages, bytes, barriers,
   exchange wall time).
 
-Control with ``SNOWFLAKE_TELEMETRY=off|counters|trace`` (default
-``counters``; ``off`` reduces every hook to one cached string
-compare).  Read with :func:`snapshot`, export the perf trajectory with
-:func:`export_bench_json` (→ ``BENCH_pipeline.json``), or render a
-report with ``python -m repro stats``.
+Two collection surfaces:
+
+* the **registry** (:mod:`repro.telemetry.registry`) — aggregate
+  counters/timers/kernel stats, controlled with
+  ``SNOWFLAKE_TELEMETRY=off|counters|trace`` (default ``counters``;
+  ``off`` reduces every hook to one cached string compare).  Read with
+  :func:`snapshot`, export the perf trajectory with
+  :func:`export_bench_json` (→ ``BENCH_pipeline.json``), render with
+  ``python -m repro stats``;
+* the **span tracer** (:mod:`repro.telemetry.tracing`) — hierarchical
+  timed spans across every subsystem, exported as Chrome trace-event
+  JSON for Perfetto (``python -m repro trace``).  Records inside a
+  ``tracing.session()`` block or whenever ``SNOWFLAKE_TELEMETRY=trace``.
 """
 
+from . import tracing
 from .registry import (
     BENCH_SCHEMA,
     MODES,
@@ -26,6 +35,7 @@ from .registry import (
     count,
     enabled,
     event,
+    events_enabled,
     export_bench_json,
     kernel_call,
     mode,
@@ -34,7 +44,6 @@ from .registry import (
     set_mode,
     snapshot,
     timed,
-    tracing,
 )
 from .report import format_stats, render_stats
 
@@ -45,6 +54,7 @@ __all__ = [
     "count",
     "enabled",
     "event",
+    "events_enabled",
     "export_bench_json",
     "format_stats",
     "kernel_call",

@@ -40,7 +40,7 @@ __all__ = [
     "mode",
     "set_mode",
     "enabled",
-    "tracing",
+    "events_enabled",
     "count",
     "record_time",
     "timed",
@@ -108,8 +108,8 @@ def enabled() -> bool:
     return mode() != "off"
 
 
-def tracing() -> bool:
-    """Is the event ring buffer recording?"""
+def events_enabled() -> bool:
+    """Is the event ring buffer recording (mode ``trace``)?"""
     return mode() == "trace"
 
 

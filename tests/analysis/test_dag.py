@@ -127,3 +127,57 @@ class TestPlan:
         g = chain(2)
         p = plan(g, shapes_of(g))
         assert "phase 0" in p.describe()
+
+
+class TestBarrierProvenance:
+    """Satellite: every barrier names the dependence grids that forced it."""
+
+    def smoother_plan(self):
+        group = smooth_group(2, cc_laplacian(2, 0.1), lam=0.1)
+        return plan(group, shapes_of(group, (12, 12)))
+
+    def test_dependence_grids_recorded(self):
+        p = self.smoother_plan()
+        assert p.dependence_grids, "smoother has cross-stencil dependences"
+        for detail in p.dependence_grids.values():
+            for kind, grids in detail.items():
+                assert kind in ("RAW", "WAR", "WAW")
+                assert grids, f"{kind} edge must name its grids"
+
+    def test_barrier_edges_name_forcing_grids(self):
+        p = self.smoother_plan()
+        assert p.n_barriers == 3
+        for k in range(p.n_barriers):
+            edges = p.barrier_edges(k)
+            assert edges, f"barrier {k} must be forced by an edge"
+            for (i, j), detail in edges:
+                assert i < j
+                grids = {g for gs in detail.values() for g in gs}
+                assert grids == {"x"}, (
+                    "every smoother barrier is about the smoothed grid"
+                )
+
+    def test_describe_names_grids_and_stencils(self):
+        p = self.smoother_plan()
+        text = p.describe()
+        assert "forced by" in text
+        assert "RAW on x" in text
+        assert "gsrb_red" in text  # labels use stencil names
+
+    def test_chain_raw_edge_in_describe(self):
+        g = chain(2)
+        text = plan(g, shapes_of(g)).describe()
+        assert "0:s0->1:s1" in text
+        assert "RAW on g1" in text
+
+    def test_serial_policy_barrier_without_dependence(self):
+        g = independent(3)
+        p = plan(g, shapes_of(g), policy="serial")
+        assert p.barrier_edges(0) == []
+        assert "policy order" in p.describe()
+
+    def test_no_barriers_no_dependence_lines(self):
+        g = independent(3)
+        p = plan(g, shapes_of(g))
+        assert p.n_barriers == 0
+        assert "forced by" not in p.describe()

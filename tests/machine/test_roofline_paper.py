@@ -1,0 +1,44 @@
+"""SectionV-B bytes-per-point constants, pinned against the model.
+
+The paper reports 24 B/point for the constant-coefficient 7-point
+Laplacian, 40 for the weighted-Jacobi smoother and 64 for the
+variable-coefficient GSRB half-sweep.  The bench module's operator
+constructions must reproduce these *exactly* from the analytic
+:func:`bytes_per_point` model, or every roofline fraction it reports
+is attributed against the wrong bound.
+"""
+
+import pytest
+
+from repro.bench import paper_operators
+from repro.machine.roofline import (
+    PAPER_BYTES_PER_STENCIL,
+    bytes_per_point,
+    roofline_stencils_per_s,
+)
+from repro.machine.specs import PAPER_PLATFORMS
+
+
+class TestPaperConstants:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("cc_7pt", 24.0), ("cc_jacobi", 40.0), ("vc_gsrb", 64.0)],
+    )
+    def test_bytes_per_point_matches_paper(self, op, expected):
+        stencil = paper_operators()[op]
+        assert bytes_per_point(stencil) == expected
+        assert PAPER_BYTES_PER_STENCIL[op] == expected
+
+    def test_operator_names_match_constant_table(self):
+        assert set(paper_operators()) == set(PAPER_BYTES_PER_STENCIL)
+
+    def test_heavier_operator_lower_roofline(self):
+        spec = PAPER_PLATFORMS["cpu"]
+        ws = 64 * 1024 * 1024  # DRAM-resident
+        rates = [
+            roofline_stencils_per_s(spec, b, ws)
+            for b in (24.0, 40.0, 64.0)
+        ]
+        assert rates == sorted(rates, reverse=True)
+        # roofline = bw / bytes exactly, once out of cache
+        assert rates[0] == pytest.approx(spec.stream_bw / 24.0)

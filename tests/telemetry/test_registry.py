@@ -13,14 +13,14 @@ class TestModes:
     def test_default_is_counters(self):
         assert telemetry.mode() == "counters"
         assert telemetry.enabled()
-        assert not telemetry.tracing()
+        assert not telemetry.events_enabled()
 
     def test_env_controls_mode(self, monkeypatch):
         monkeypatch.setenv("SNOWFLAKE_TELEMETRY", "off")
         assert telemetry.mode() == "off"
         monkeypatch.setenv("SNOWFLAKE_TELEMETRY", "trace")
         assert telemetry.mode() == "trace"
-        assert telemetry.tracing()
+        assert telemetry.events_enabled()
 
     def test_env_reread_lazily_without_reimport(self, monkeypatch):
         assert telemetry.mode() == "counters"

@@ -1,0 +1,100 @@
+"""Roofline-attributed benchmark: document shape, regression check."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_KERNELS_SCHEMA,
+    check_regression,
+    paper_operators,
+    resolve_spec,
+    run_bench,
+    write_bench_kernels,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    # numpy-only keeps the module fast and toolchain-independent
+    return run_bench(n=8, backends=("numpy",), spec="paper-cpu", calls=1)
+
+
+class TestOperators:
+    def test_three_paper_operators(self):
+        ops = paper_operators()
+        assert set(ops) == {"cc_7pt", "cc_jacobi", "vc_gsrb"}
+        for name, st in ops.items():
+            assert st.name == name
+
+    def test_resolve_spec(self):
+        assert resolve_spec("paper-cpu").kind == "cpu"
+        assert resolve_spec("gpu").kind == "gpu"
+        with pytest.raises(ValueError):
+            resolve_spec("quantum")
+
+
+class TestRunBench:
+    def test_document_shape(self, doc):
+        assert doc["schema"] == BENCH_KERNELS_SCHEMA
+        assert doc["size"] == 8
+        assert set(doc["operators"]) == {"cc_7pt", "cc_jacobi", "vc_gsrb"}
+        assert doc["spec"]["stream_bw"] > 0
+
+    def test_roofline_attribution(self, doc):
+        for op, rec in doc["operators"].items():
+            assert rec["bytes_per_point"] == rec["paper_bytes_per_point"]
+            assert rec["roofline_points_per_s"] > 0
+            assert rec["points"] > 0
+            t = rec["backends"]["numpy"]
+            assert t["points_per_s"] > 0
+            assert t["roofline_fraction"] == pytest.approx(
+                t["points_per_s"] / rec["roofline_points_per_s"]
+            )
+
+    def test_unavailable_backend_is_data_not_crash(self):
+        out = run_bench(
+            n=8, backends=("no-such-backend",), spec="paper-cpu", calls=1
+        )
+        for rec in out["operators"].values():
+            assert "error" in rec["backends"]["no-such-backend"]
+
+    def test_write_roundtrip(self, doc, tmp_path):
+        path = write_bench_kernels(doc, tmp_path / "BENCH_kernels.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(doc)
+        )
+
+
+class TestCheckRegression:
+    def test_identical_documents_pass(self, doc):
+        assert check_regression(doc, doc) == []
+
+    def test_slowdown_beyond_tolerance_flagged(self, doc):
+        slow = copy.deepcopy(doc)
+        t = slow["operators"]["cc_7pt"]["backends"]["numpy"]
+        t["points_per_s"] *= 0.5
+        problems = check_regression(slow, doc, tolerance=0.25)
+        assert len(problems) == 1
+        assert "cc_7pt/numpy" in problems[0]
+
+    def test_slowdown_within_tolerance_passes(self, doc):
+        slow = copy.deepcopy(doc)
+        t = slow["operators"]["cc_7pt"]["backends"]["numpy"]
+        t["points_per_s"] *= 0.8
+        assert check_regression(slow, doc, tolerance=0.25) == []
+
+    def test_speedup_passes(self, doc):
+        fast = copy.deepcopy(doc)
+        for rec in fast["operators"].values():
+            rec["backends"]["numpy"]["points_per_s"] *= 10
+        assert check_regression(fast, doc) == []
+
+    def test_missing_coverage_skipped(self, doc):
+        partial = copy.deepcopy(doc)
+        del partial["operators"]["cc_7pt"]
+        partial["operators"]["cc_jacobi"]["backends"]["numpy"] = {
+            "error": "CompilerNotFound: no cc"
+        }
+        assert check_regression(partial, doc) == []
