@@ -16,12 +16,14 @@ Subpackages:
 
 * :mod:`repro.core` — the DSL (weights, components, domains, stencils)
 * :mod:`repro.analysis` — finite-domain Diophantine dependence analysis
+* :mod:`repro.schedule` — the legality-checked schedule IR every
+  backend executes (phases, fused chains, color sweeps)
 * :mod:`repro.backends` — JIT micro-compilers (python/numpy/c/openmp/opencl-sim)
 * :mod:`repro.clsim` — CPU simulator executing the generated OpenCL
 * :mod:`repro.hpgmg` — the HPGMG-style geometric multigrid benchmark
 * :mod:`repro.baselines` — hand-optimized comparator kernels
 * :mod:`repro.machine` — STREAM, Roofline bounds, platform models
-* :mod:`repro.tuning` — tile-size autotuning
+* :mod:`repro.tuning` — schedule autotuning (tile, fusion, policy)
 * :mod:`repro.resilience` — fault injection, backend fallback chains,
   runtime guards (``python -m repro doctor`` for the self-check)
 """
@@ -42,6 +44,7 @@ from .core import (
 )
 from .backends import available_backends, get_backend, register_backend
 from .resilience import ExecutionPolicy, Guards
+from .schedule import Schedule, ScheduleOptions, build_schedule, schedule_for
 
 __version__ = "1.0.0"
 
@@ -63,5 +66,9 @@ __all__ = [
     "register_backend",
     "ExecutionPolicy",
     "Guards",
+    "Schedule",
+    "ScheduleOptions",
+    "build_schedule",
+    "schedule_for",
     "__version__",
 ]

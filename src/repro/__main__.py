@@ -16,7 +16,8 @@ Commands:
                   the expected subsystems)
 * ``explain``   — print the analysis provenance of a GSRB smoother
                   group: intra-stencil verdicts, which grids forced
-                  each barrier, and the backend artifact identity
+                  each barrier, the legality-checked schedule the
+                  backend executes, and the backend artifact identity
 * ``bench``     — time the paper's three operators per backend and
                   attribute each rate against the machine roofline;
                   writes the ``BENCH_kernels.json`` artifact
@@ -212,8 +213,16 @@ def cmd_explain(args) -> int:
     from .explain import explain
 
     group, shapes = _gsrb_workload(int(args.size))
+    options = {}
+    if args.fuse:
+        options["fuse"] = True
+    if args.no_multicolor:
+        options["multicolor"] = False
+    if args.tile is not None:
+        options["tile"] = int(args.tile)
     prov = explain(
-        group, shapes, backend=args.backend, policy=args.policy
+        group, shapes, backend=args.backend, policy=args.policy,
+        **options,
     )
     if args.json:
         print(json.dumps(prov.to_dict(), indent=2, sort_keys=True))
@@ -418,6 +427,18 @@ def main(argv=None) -> int:
     ex.add_argument(
         "--size", type=int, default=32,
         help="interior grid edge length (default: 32)",
+    )
+    ex.add_argument(
+        "--fuse", action="store_true",
+        help="enable fusion chains in the reported schedule",
+    )
+    ex.add_argument(
+        "--no-multicolor", action="store_true",
+        help="disable checkerboard sweep recognition in the schedule",
+    )
+    ex.add_argument(
+        "--tile", type=int, default=None,
+        help="tile size recorded in the schedule (c/openmp backends)",
     )
     ex.add_argument(
         "--json", action="store_true",

@@ -95,24 +95,20 @@ def fusion_candidates(
 ) -> list[FusionPair]:
     """Adjacent stencil pairs a backend may fuse into one loop nest.
 
-    Legal when the pair shares an identical domain and output map, and
-    the second does not read anything the first writes (no RAW at equal
-    iteration points would be fine, but offset reads of the first's
-    output would observe half-updated data inside a fused sweep, so any
-    RAW disqualifies), and neither WAW-clobbers grids the other still
-    needs.
+    Deprecated shim: fusion legality now has a single implementation in
+    :func:`repro.schedule.fusion_chains` (maximal chains with transitive
+    safety); this view flattens those chains back into the historical
+    adjacent-pair form for existing callers.
     """
-    deps = group_dependences(group, shapes)
+    from ..schedule import fusion_chains
+
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
     out: list[FusionPair] = []
-    for i in range(len(group) - 1):
-        j = i + 1
-        a, b = group[i], group[j]
-        if a.domain != b.domain or a.output_map != b.output_map:
-            continue
-        kinds = deps.get((i, j), set())
-        if "RAW" in kinds or "WAW" in kinds:
-            continue
-        out.append(
-            FusionPair(i, j, "identical domain, no RAW/WAW between bodies")
-        )
+    for chain in fusion_chains(group, norm):
+        for i, j in zip(chain, chain[1:]):
+            out.append(
+                FusionPair(
+                    i, j, "identical domain, no RAW/WAW between bodies"
+                )
+            )
     return out

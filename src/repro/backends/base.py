@@ -174,6 +174,13 @@ class Backend(abc.ABC):
     #: degradation targets and to thread compile timeouts.
     requires_toolchain: bool = False
 
+    #: declared scheduling knobs (name -> default) drawn from the single
+    #: :class:`repro.schedule.ScheduleOptions` vocabulary.  ``None``
+    #: means the backend manages its own options (user-registered
+    #: backends); the built-in six all declare a subset, validated in
+    #: one place by :func:`repro.schedule.pop_schedule_spec`.
+    _KNOBS: Mapping[str, object] | None = None
+
     @abc.abstractmethod
     def specializer(
         self, group: StencilGroup, **options

@@ -5,10 +5,12 @@ The generated function has the narrow FFI signature
     void sf_kernel(TYPE** grids, const double* params);
 
 with grids passed in sorted-name order and shapes/strides baked into the
-source (shape-specialized JIT).  Stencils execute in program order; an
-in-place stencil with a proven loop-carried hazard reads its output grid
-through a snapshot (gather semantics), matching the reference
-interpreter exactly.
+source (shape-specialized JIT).  Structure — execution order, fusion
+chains, snapshot and multicolor decisions — comes from a
+:class:`~repro.schedule.ir.Schedule` built by the shared lowering stage;
+this module only emits.  An in-place stencil with a proven loop-carried
+hazard reads its output grid through a snapshot (gather semantics),
+matching the reference interpreter exactly.
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ import numpy as np
 
 from .. import telemetry
 from ..core.stencil import StencilGroup
+from ..schedule import Schedule, ScheduleOptions, as_schedule, pop_schedule_spec
+from ..schedule import fusion_chains as _schedule_fusion_chains
 from .base import Backend, register_backend
 from .codegen_c import (
     C_PREAMBLE,
@@ -43,41 +47,12 @@ def fusion_chains(
 ) -> list[list[int]]:
     """Maximal runs of program-adjacent stencils legal to fuse.
 
-    A stencil joins the current chain when it shares the chain's domain
-    and output map, has no RAW/WAW dependence with *any* chain member
-    (transitive safety — pairwise adjacency is not enough once three
-    stencils share one loop nest), and needs no gather snapshot.
+    Deprecated shim: the single implementation now lives in
+    :func:`repro.schedule.fusion_chains` (program-order mode).  Kept so
+    existing callers and tests keep working.
     """
-    from ..analysis.dependence import group_dependences, is_parallel_safe
-
-    deps = group_dependences(group, shapes)
-
-    def needs_snapshot(i: int) -> bool:
-        return group[i].is_inplace() and not is_parallel_safe(
-            group[i], shapes
-        )
-
-    chains: list[list[int]] = []
-    current = [0]
-    for j in range(1, len(group)):
-        head = group[current[0]]
-        ok = (
-            group[j].domain == head.domain
-            and group[j].output_map == head.output_map
-            and not needs_snapshot(j)
-            and not needs_snapshot(current[0])
-            and all(
-                not ({"RAW", "WAW"} & deps.get((i, j), set()))
-                for i in current
-            )
-        )
-        if ok:
-            current.append(j)
-        else:
-            chains.append(current)
-            current = [j]
-    chains.append(current)
-    return chains
+    norm = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
+    return _schedule_fusion_chains(group, norm)
 
 
 def generate_c_source(
@@ -85,6 +60,7 @@ def generate_c_source(
     shapes: Mapping[str, tuple[int, ...]],
     dtype,
     *,
+    schedule: "Schedule | ScheduleOptions | str | None" = None,
     tile: int | None = None,
     multicolor: bool = True,
     fuse: bool = False,
@@ -92,17 +68,19 @@ def generate_c_source(
 ) -> str:
     """Render the whole group as one C translation unit.
 
-    With ``fuse=True``, runs of adjacent stencils the analysis proves
-    independent (see :func:`fusion_chains`) share one loop nest —
-    their grids are read once per point instead of once per stencil.
+    ``schedule`` may be a prebuilt :class:`~repro.schedule.ir.Schedule`
+    (the loose knobs are then ignored), a :class:`ScheduleOptions`, or a
+    policy string; otherwise one is lowered from the legacy
+    ``tile``/``multicolor``/``fuse`` knobs.  Steps are emitted in
+    schedule order: fused chains share one loop nest, checkerboard
+    unions become one parity-corrected sweep.
     """
-    ctx = CodegenContext(group, shapes, ctype_for(dtype))
-    norm_shapes = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
-    chains = (
-        fusion_chains(group, norm_shapes)
-        if fuse
-        else [[i] for i in range(len(group))]
+    norm = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
+    sched = as_schedule(
+        schedule, group, norm,
+        ScheduleOptions(fuse=fuse, multicolor=multicolor, tile=tile),
     )
+    ctx = CodegenContext(group, norm, ctype_for(dtype))
     lines: list[str] = [C_PREAMBLE]
     lines.append(
         f"void {func_name}({ctx.ctype}** grids, const double* params)"
@@ -110,20 +88,17 @@ def generate_c_source(
     lines.append("{")
     for l in ctx.prologue():
         lines.append("  " + l)
-    for chain in chains:
+    for step in sched.steps():
+        chain = list(step.stencils)
         si = chain[0]
         stencil = group[si]
         names = ", ".join(group[i].name for i in chain)
         lines.append(f"  /* stencil(s) {chain}: {names} */")
         fused = [group[i] for i in chain[1:]]
-        loops = StencilLoops(
-            ctx, stencil, tile=tile, multicolor=multicolor,
-            snapshot_name=None, fused_with=fused,
-        )
-        if not fused and loops.needs_snapshot():
+        if step.snapshot:
             snap = f"snap_{si}"
             loops = StencilLoops(
-                ctx, stencil, tile=tile, multicolor=multicolor,
+                ctx, stencil, tile=sched.options.tile, parity=step.sweep,
                 snapshot_name=snap,
             )
             lines.append("  {")
@@ -134,6 +109,10 @@ def generate_c_source(
             lines.append(f"    free({snap});")
             lines.append("  }")
         else:
+            loops = StencilLoops(
+                ctx, stencil, tile=sched.options.tile, parity=step.sweep,
+                snapshot_name=None, fused_with=fused,
+            )
             for l in loops.emit():
                 lines.append("  " + l)
     lines.append("}")
@@ -196,38 +175,41 @@ def make_ffi_wrapper(
 class CBackend(Backend):
     """The ``c`` micro-compiler (sequential C99, SectionV-A flag set).
 
-    Options: ``tile`` (int cache-block size on the outermost loop),
-    ``multicolor`` (bool, default True: fuse checkerboard unions),
-    ``cc_timeout`` (hard wall-clock cap on the compiler subprocess).
+    Scheduling options (see :class:`repro.schedule.ScheduleOptions`):
+    ``schedule`` (a prebuilt Schedule or a policy string), ``tile``,
+    ``multicolor``, ``fuse``; plus ``cc_timeout`` — a hard wall-clock
+    cap on the compiler subprocess.
     """
 
     name = "c"
     _openmp = False
     requires_toolchain = True
 
-    #: codegen knobs and their defaults; subclasses override to change
-    #: the option vocabulary without touching the specialize pipeline
-    _DEFAULTS: Mapping[str, object] = {
-        "tile": None, "multicolor": True, "fuse": False,
+    #: declared scheduling knobs (name -> default); subclasses override
+    #: to change the vocabulary without touching the specialize pipeline
+    _KNOBS: Mapping[str, object] = {
+        "schedule": "greedy", "tile": None, "multicolor": True,
+        "fuse": False,
     }
 
-    def _codegen_options(self, options: dict) -> tuple[dict, float | None]:
-        """Split user options into (codegen knobs, cc_timeout).
+    def _schedule_spec(self, options: dict):
+        """Split user options into (schedule spec, cc_timeout).
 
         Consumes ``options``; anything left over is unknown and raises,
         so the :class:`CompiledKernel` surface stays typo-safe.
         """
-        knobs = {k: options.pop(k, v) for k, v in self._DEFAULTS.items()}
         cc_timeout = options.pop("cc_timeout", None)
-        if options:
-            raise TypeError(f"unknown options for {self.name!r}: {options}")
-        return knobs, cc_timeout
+        spec = pop_schedule_spec(
+            options, backend=self.name, knobs=self._KNOBS
+        )
+        return spec, cc_timeout
 
     def specializer(self, group: StencilGroup, **options):
-        knobs, cc_timeout = self._codegen_options(options)
+        spec, cc_timeout = self._schedule_spec(options)
 
         def specialize(shapes, dtype) -> Callable:
-            src = self.generate(group, shapes, dtype, **knobs)
+            sched = as_schedule(spec, group, shapes)
+            src = self.generate(group, shapes, dtype, schedule=sched)
             telemetry.count(f"codegen.{self.name}.sources")
             telemetry.count(f"codegen.{self.name}.bytes", len(src))
             lib = compile_and_load(
@@ -238,9 +220,9 @@ class CBackend(Backend):
 
         return specialize
 
-    def generate(self, group, shapes, dtype, **knobs) -> str:
+    def generate(self, group, shapes, dtype, *, schedule=None) -> str:
         """Source-generation hook (overridden by the OpenMP backend)."""
-        return generate_c_source(group, shapes, dtype, **knobs)
+        return generate_c_source(group, shapes, dtype, schedule=schedule)
 
     def artifact_info(self, group, shapes, dtype=None, **options):
         """Cache identity of the artifact this group would compile to.
@@ -251,10 +233,11 @@ class CBackend(Backend):
         ``sf_<tag>.c`` / ``sf_<tag>.so``, and ``cached`` says whether
         the shared object is already on disk.
         """
-        knobs, _ = self._codegen_options(dict(options))
+        spec, _ = self._schedule_spec(dict(options))
         shapes = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
         dt = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
-        src = self.generate(group, shapes, dt, **knobs)
+        sched = as_schedule(spec, group, shapes)
+        src = self.generate(group, shapes, dt, schedule=sched)
         tag = source_tag(src, openmp=self._openmp)
         d = cache_dir()
         so = d / f"sf_{tag}.so"

@@ -6,17 +6,20 @@ Renders the canonical flat form into loop nests.  Responsibilities:
 * affine index expressions ``(scale*i + off) * stride`` folded per dim,
 * gather-semantics snapshots for hazardous in-place stencils (decided by
   the dependence analysis — safe stencils pay nothing),
-* the *multicolor reordering* optimization (paper SectionIV-A): a
-  checkerboard :class:`DomainUnion` whose boxes tile a parity class is
-  fused into a single dense nest whose innermost loop start is parity
-  corrected, replacing 2^(d-1) strided sweeps with one cache-friendly
-  sweep,
+* the *multicolor reordering* nest (paper SectionIV-A): when the
+  schedule hands down a :class:`~repro.schedule.ir.ParityClass`, the
+  checkerboard boxes are fused into a single dense nest whose innermost
+  loop start is parity corrected, replacing 2^(d-1) strided sweeps with
+  one cache-friendly sweep,
 * arbitrary-dimension tiling of the outermost free loop (used by the
   OpenMP backend to form tasks, and by the sequential backend for cache
   blocking).
 
-The emitter knows nothing about scheduling pragmas; backends inject
-those through small hook callables.
+The emitter is purely mechanical: fusion, snapshot and sweep decisions
+arrive precomputed on the :class:`~repro.schedule.ir.Schedule` steps
+(``ParityClass``/``detect_parity_class`` are re-exported here for
+backward compatibility).  The emitter knows nothing about scheduling
+pragmas either; backends inject those through small hook callables.
 """
 
 from __future__ import annotations
@@ -32,8 +35,16 @@ from ..core.domains import ResolvedRect
 from ..core.flatten import FlatTerm
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
+from ..schedule.ir import ParityClass, detect_parity_class
 
-__all__ = ["CodegenContext", "StencilLoops", "C_PREAMBLE", "ctype_for"]
+__all__ = [
+    "CodegenContext",
+    "StencilLoops",
+    "C_PREAMBLE",
+    "ctype_for",
+    "ParityClass",
+    "detect_parity_class",
+]
 
 
 C_PREAMBLE = """\
@@ -186,70 +197,6 @@ class CodegenContext:
 
 
 # ---------------------------------------------------------------------------
-# multicolor (parity-class) detection
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ParityClass:
-    """A union of stride-2 boxes equal to one parity class of a dense box."""
-
-    base: tuple[int, ...]
-    high: tuple[int, ...]  # inclusive
-    parity: int
-
-
-def detect_parity_class(rects: Sequence[ResolvedRect]) -> ParityClass | None:
-    """Recognize checkerboard unions so they can be loop-fused.
-
-    Requirements: >=2 boxes, all strides exactly 2, box lows differ from
-    the per-dim minimum by 0/1, offsets enumerate every combination with
-    one fixed total parity, and each box exactly fills its residue class
-    of the common dense bounding box.
-    """
-    if len(rects) < 2:
-        return None
-    ndim = rects[0].ndim
-    for r in rects:
-        if any(st != 2 for st in r.strides):
-            return None
-    base = tuple(min(r.lows[d] for r in rects) for d in range(ndim))
-    high = tuple(max(r.highs()[d] for r in rects) for d in range(ndim))
-    offsets = set()
-    for r in rects:
-        off = tuple(r.lows[d] - base[d] for d in range(ndim))
-        if any(o not in (0, 1) for o in off):
-            return None
-        if off in offsets:
-            return None
-        offsets.add(off)
-        # exact residue fill of [base, high]
-        for d in range(ndim):
-            lo = r.lows[d]
-            want_hi = lo + 2 * ((high[d] - lo) // 2)
-            if r.highs()[d] != want_hi:
-                return None
-    parities = {sum(o) % 2 for o in offsets}
-    if len(parities) != 1:
-        return None
-    parity = parities.pop()
-    expected = {
-        off
-        for off in _binary_offsets(ndim)
-        if sum(off) % 2 == parity and all(base[d] + off[d] <= high[d] for d in range(ndim))
-    }
-    if offsets != expected:
-        return None
-    return ParityClass(base, high, parity)
-
-
-def _binary_offsets(ndim: int):
-    import itertools
-
-    return itertools.product((0, 1), repeat=ndim)
-
-
-# ---------------------------------------------------------------------------
 # loop nests
 # ---------------------------------------------------------------------------
 
@@ -264,7 +211,11 @@ class StencilLoops:
     domain and output map whose stores are emitted in the *same* loop
     nest — the fusion transformation the dependence analysis legalizes
     (only snapshot-free, mutually independent stencils may be fused;
-    :func:`repro.analysis.optimize.fusion_candidates` decides).
+    :func:`repro.schedule.fusion_chains` decides).
+
+    ``parity`` is the schedule's multicolor verdict for this stencil:
+    a :class:`~repro.schedule.ir.ParityClass` selects the fused dense
+    nest, ``None`` emits one nest per domain box.
     """
 
     def __init__(
@@ -273,14 +224,14 @@ class StencilLoops:
         stencil: Stencil,
         *,
         tile: int | None = None,
-        multicolor: bool = True,
+        parity: ParityClass | None = None,
         snapshot_name: str | None = None,
         fused_with: Sequence[Stencil] = (),
     ) -> None:
         self.ctx = ctx
         self.stencil = stencil
         self.tile = tile
-        self.multicolor = multicolor
+        self.parity = parity
         self.snapshot_name = snapshot_name
         self.fused_with = tuple(fused_with)
         if self.fused_with and snapshot_name is not None:
@@ -307,7 +258,7 @@ class StencilLoops:
     def emit(self, task_pragma: str | None = None) -> list[str]:
         """Full C lines for this stencil (without snapshot management)."""
         lines: list[str] = []
-        pc = detect_parity_class(self.rects) if self.multicolor else None
+        pc = self.parity
         if pc is not None:
             lines += self._emit_parity_nest(pc, task_pragma)
             return lines

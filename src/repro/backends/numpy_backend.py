@@ -23,6 +23,7 @@ from ..analysis.dependence import is_parallel_safe
 from ..core.domains import ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
+from ..schedule import as_schedule, pop_schedule_spec
 from .base import Backend, register_backend
 
 __all__ = ["NumpyBackend", "lattice_slices"]
@@ -121,12 +122,14 @@ class NumpyBackend(Backend):
     name = "numpy"
     requires_toolchain = False
 
+    _KNOBS = {"schedule": "greedy", "fuse": False, "multicolor": False}
+
     def specializer(self, group: StencilGroup, **options):
-        if options:
-            raise TypeError(f"numpy backend takes no options, got {options}")
+        spec = pop_schedule_spec(options, backend=self.name, knobs=self._KNOBS)
 
         def specialize(shapes, dtype) -> Callable:
-            execs = [_StencilExec(s, shapes) for s in group]
+            order = as_schedule(spec, group, shapes).stencil_order()
+            execs = [_StencilExec(group[i], shapes) for i in order]
             telemetry.count("codegen.numpy.stencil_execs", len(execs))
 
             def impl(arrays, params):

@@ -7,18 +7,23 @@ Scheduling follows the paper's design literally:
 * the dependence analysis groups stencils into **phases** using the
   greedy policy — a barrier (``taskwait``) is inserted only when an
   upcoming stencil consumes what an in-flight one produced;
-* **multicolor reordering** and arbitrary-dimension **tiling** are
-  available as compile options (both on by default / tunable), and the
-  tile size is an explicit knob so it can be autotuned
-  (:mod:`repro.tuning.autotune`).
+* **multicolor reordering**, **fusion** and arbitrary-dimension
+  **tiling** arrive precomputed on the
+  :class:`~repro.schedule.ir.Schedule` steps; the tile size stays an
+  explicit knob so it can be autotuned (:mod:`repro.tuning.autotune`).
+
+Fused chains are phase-local by construction (see
+:func:`repro.schedule.build_schedule`), so a chain can never straddle a
+``taskwait`` — the legacy program-order chaining could, hoisting a
+store across the barrier it depended on.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-from ..analysis.dag import plan
 from ..core.stencil import StencilGroup
+from ..schedule import Schedule, ScheduleOptions, as_schedule
 from .base import register_backend
 from .c_backend import CBackend
 from .codegen_c import (
@@ -38,29 +43,23 @@ def generate_openmp_source(
     *,
     tile: int | None = 8,
     multicolor: bool = True,
-    schedule: str = "greedy",
+    schedule: "Schedule | ScheduleOptions | str" = "greedy",
     fuse: bool = False,
     func_name: str = "sf_kernel",
 ) -> str:
     """Render the group as a task-parallel OpenMP translation unit.
 
-    With ``fuse=True``, fusion chains (independent adjacent stencils
-    sharing a domain) are emitted as a single task-tiled nest; chains
-    never straddle a barrier because greedy phases break exactly at
-    dependences, and chain members are dependence-free by construction.
+    ``schedule`` may be a prebuilt :class:`~repro.schedule.ir.Schedule`,
+    a :class:`ScheduleOptions`, or a policy string (legacy usage; the
+    remaining knobs then fill in the rest).  Each schedule step becomes
+    one task-tiled nest; ``taskwait`` separates the phases.
     """
-    from .c_backend import fusion_chains
-
-    ctx = CodegenContext(group, shapes, ctype_for(dtype))
-    exec_plan = plan(group, shapes, policy=schedule)
-    norm_shapes = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
-    chains = (
-        fusion_chains(group, norm_shapes)
-        if fuse
-        else [[i] for i in range(len(group))]
+    norm = {g: tuple(int(x) for x in shapes[g]) for g in shapes}
+    sched = as_schedule(
+        schedule, group, norm,
+        ScheduleOptions(fuse=fuse, multicolor=multicolor, tile=tile),
     )
-    chain_of_head = {c[0]: c for c in chains}
-    non_heads = {i for c in chains for i in c[1:]}
+    ctx = CodegenContext(group, norm, ctype_for(dtype))
 
     lines: list[str] = [C_PREAMBLE, "#include <omp.h>"]
     lines.append(
@@ -70,24 +69,26 @@ def generate_openmp_source(
     for l in ctx.prologue():
         lines.append("  " + l)
 
-    # Pre-plan snapshots so allocation happens once, outside the region.
+    # Pre-plan loops per step so snapshot allocation happens once,
+    # outside the parallel region.
     snap_names: dict[int, str] = {}
-    loops_for: dict[int, StencilLoops] = {}
-    for si, stencil in enumerate(group):
-        if si in non_heads:
-            continue  # emitted inside its chain head's nest
-        fused = [group[i] for i in chain_of_head.get(si, [si])[1:]]
-        loops = StencilLoops(
-            ctx, stencil, tile=tile, multicolor=multicolor, fused_with=fused
-        )
-        if not fused and loops.needs_snapshot():
-            snap = f"snap_{si}"
-            snap_names[si] = snap
-            loops = StencilLoops(
-                ctx, stencil, tile=tile, multicolor=multicolor,
-                snapshot_name=snap,
+    step_loops: list[list[StencilLoops]] = []
+    for phase in sched.phases:
+        row = []
+        for step in phase.steps:
+            head = group[step.head]
+            snap = None
+            if step.snapshot:
+                snap = f"snap_{step.head}"
+                snap_names[step.head] = snap
+            row.append(
+                StencilLoops(
+                    ctx, head, tile=sched.options.tile, parity=step.sweep,
+                    snapshot_name=snap,
+                    fused_with=[group[i] for i in step.stencils[1:]],
+                )
             )
-        loops_for[si] = loops
+        step_loops.append(row)
     for si, snap in snap_names.items():
         g = group[si].output
         n = ctx.grid_size(g)
@@ -99,27 +100,27 @@ def generate_openmp_source(
     lines.append("  #pragma omp parallel")
     lines.append("  #pragma omp single")
     lines.append("  {")
-    for pi, phase in enumerate(exec_plan.phases):
-        lines.append(f"    /* phase {pi} */")
+    for phase, row in zip(sched.phases, step_loops):
+        lines.append(f"    /* phase {phase.index} */")
         # Fill snapshots serially before spawning the phase's tasks.
-        for si in phase:
-            snap = snap_names.get(si)
+        for step in phase.steps:
+            snap = snap_names.get(step.head)
             if snap is not None:
-                g = group[si].output
+                g = group[step.head].output
                 n = ctx.grid_size(g)
                 src = ctx.grid_cname[g]
                 lines.append(
                     f"    memcpy({snap}, {src}, {n} * sizeof({ctx.ctype}));"
                 )
-        for si in phase:
-            if si in non_heads:
-                continue
-            stencil = group[si]
-            lines.append(f"    /* stencil {si}: {stencil.name} */")
+        for step, loops in zip(phase.steps, row):
+            names = ", ".join(group[i].name for i in step.stencils)
+            lines.append(
+                f"    /* stencil(s) {list(step.stencils)}: {names} */"
+            )
             # Unsafe in-place stencils were given a snapshot above, which
-            # restores gather semantics — so every stencil may be tiled
+            # restores gather semantics — so every step may be tiled
             # into concurrent tasks.
-            for l in loops_for[si].emit(task_pragma="#pragma omp task"):
+            for l in loops.emit(task_pragma="#pragma omp task"):
                 lines.append("    " + l)
         lines.append("    #pragma omp taskwait")
     lines.append("  }")
@@ -132,20 +133,21 @@ def generate_openmp_source(
 class OpenMPBackend(CBackend):
     """The ``openmp`` micro-compiler.
 
-    Options: ``tile`` (task granularity on the outermost loop, default
-    8 planes), ``multicolor`` (default True), ``schedule`` — one of
-    ``greedy`` (the paper's policy), ``wavefront``, ``serial``.
+    Scheduling options: ``schedule`` (a prebuilt Schedule or one of
+    ``greedy``/``wavefront``/``serial``), ``tile`` (task granularity on
+    the outermost loop, default 8 planes), ``multicolor`` (default
+    True), ``fuse``.
     """
 
     name = "openmp"
     _openmp = True
 
-    _DEFAULTS = {
-        "tile": 8, "multicolor": True, "schedule": "greedy", "fuse": False,
+    _KNOBS = {
+        "schedule": "greedy", "tile": 8, "multicolor": True, "fuse": False,
     }
 
-    def generate(self, group, shapes, dtype, **knobs) -> str:
-        return generate_openmp_source(group, shapes, dtype, **knobs)
+    def generate(self, group, shapes, dtype, *, schedule=None) -> str:
+        return generate_openmp_source(group, shapes, dtype, schedule=schedule)
 
 
 register_backend(OpenMPBackend(), "omp")

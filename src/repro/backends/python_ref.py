@@ -7,6 +7,11 @@ All other backends must agree bit-for-bit with this interpreter on
 hazard-free stencils and up to gather semantics on hazardous ones; the
 equivalence suite in ``tests/backends`` enforces that.
 
+Stencils execute in :class:`~repro.schedule.ir.Schedule` order (program
+order under the default greedy policy); fusion and multicolor sweeps
+are loop-structure decisions with no observable effect here, so the
+interpreter simply honours the schedule's ordering.
+
 Deliberately unoptimized — small grids only.
 """
 
@@ -19,6 +24,7 @@ import numpy as np
 from .. import telemetry
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
+from ..schedule import as_schedule, pop_schedule_spec
 from .base import Backend, register_backend
 
 __all__ = ["PythonBackend"]
@@ -66,23 +72,28 @@ class PythonBackend(Backend):
 
     name = "python"
 
+    _KNOBS = {"schedule": "greedy", "fuse": False, "multicolor": False}
+
     def specializer(self, group: StencilGroup, **options):
-        if options:
-            raise TypeError(f"python backend takes no options, got {options}")
+        spec = pop_schedule_spec(options, backend=self.name, knobs=self._KNOBS)
 
         def specialize(shapes, dtype) -> Callable:
+            order = [
+                group[i]
+                for i in as_schedule(spec, group, shapes).stencil_order()
+            ]
             telemetry.count("codegen.python.interpreted_stencils", len(group))
 
             def impl(arrays, params):
                 if telemetry.tracing.active():
-                    for stencil in group:
+                    for stencil in order:
                         with telemetry.tracing.span(
                             f"stencil:{stencil.name}", cat="kernel",
                             backend="python",
                         ):
                             _apply_stencil(stencil, arrays, params, shapes)
                 else:
-                    for stencil in group:
+                    for stencil in order:
                         _apply_stencil(stencil, arrays, params, shapes)
 
             return impl

@@ -9,6 +9,9 @@ assembles the full chain of custody for one compiled group:
   the list of loop-carried hazards that forbid it);
 * per barrier — every cross-stencil dependence edge crossing it and the
   grids whose footprint-lattice intersections carry each RAW/WAR/WAW;
+* per group — the :class:`~repro.schedule.ir.Schedule` the backend will
+  execute (phases, fused chains, color sweeps), each decision tagged
+  with the Diophantine evidence that legalizes it;
 * per backend — the chosen micro-compiler, its JIT cache key, and the
   on-disk paths of the generated source and shared object
   (:meth:`~repro.backends.base.Backend.artifact_info`).
@@ -30,6 +33,7 @@ from .analysis.dag import ExecutionPlan, plan
 from .analysis.dependence import intra_stencil_hazards
 from .backends.base import get_backend
 from .core.stencil import Stencil, StencilGroup
+from .schedule import Schedule, as_schedule, pop_schedule_spec
 from .telemetry import tracing
 
 __all__ = [
@@ -87,12 +91,18 @@ class GroupProvenance:
     stencils: tuple[StencilProvenance, ...]
     barriers: tuple[BarrierProvenance, ...]
     artifact: dict | None  # Backend.artifact_info(); None for interpreters
+    #: the legality-checked schedule the backend executes; None only for
+    #: user-registered backends that don't declare scheduling knobs
+    schedule: Schedule | None = None
 
     def to_dict(self) -> dict:
         """JSON-able view (frozensets become sorted lists)."""
         return {
             "group": self.group,
             "backend": self.backend,
+            "schedule": (
+                self.schedule.to_dict() if self.schedule is not None else None
+            ),
             "phases": [list(p) for p in self.plan.phases],
             "stencils": [
                 {
@@ -139,6 +149,11 @@ class GroupProvenance:
         lines.append("execution plan:")
         for l in self.plan.describe().splitlines():
             lines.append("  " + l)
+        if self.schedule is not None:
+            lines.append("")
+            lines.append("schedule:")
+            for l in self.schedule.describe().splitlines():
+                lines.append("  " + l)
         if self.artifact is not None:
             lines.append("")
             lines.append("artifact:")
@@ -166,10 +181,25 @@ def explain(
     if isinstance(group, Stencil):
         group = StencilGroup((group,), name=group.name)
     shapes = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    be = get_backend(backend)
     with tracing.span(
         "explain", cat="analysis", group=group.name, backend=backend
     ):
-        exec_plan = plan(group, shapes, policy=policy)
+        sched: Schedule | None = None
+        if be._KNOBS is not None:
+            # Resolve scheduling options exactly as compile() would: the
+            # backend's declared knobs, validated in one place, lowered
+            # to the Schedule the backend will execute.
+            probe = dict(options)
+            probe.pop("cc_timeout", None)
+            probe.setdefault("schedule", policy)
+            spec = pop_schedule_spec(
+                probe, backend=backend, knobs=be._KNOBS
+            )
+            sched = as_schedule(spec, group, shapes)
+            exec_plan = sched.plan
+        else:
+            exec_plan = plan(group, shapes, policy=policy)
         stencils = []
         for i, st in enumerate(group):
             hazards = intra_stencil_hazards(st, shapes)
@@ -186,9 +216,7 @@ def explain(
             BarrierProvenance(k, tuple(exec_plan.barrier_edges(k)))
             for k in range(exec_plan.n_barriers)
         )
-        artifact = get_backend(backend).artifact_info(
-            group, shapes, dtype, **options
-        )
+        artifact = be.artifact_info(group, shapes, dtype, **options)
     return GroupProvenance(
         group=group.name,
         backend=backend,
@@ -196,4 +224,5 @@ def explain(
         stencils=stencils,
         barriers=barriers,
         artifact=artifact,
+        schedule=sched,
     )

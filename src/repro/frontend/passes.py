@@ -110,9 +110,13 @@ class PassManager:
             live_grids = group.grids()
         self.records = []
         check_group(group, shapes)
+        # One phase analysis up front; each pass's "after" count is the
+        # next pass's "before" count (greedy_phases re-runs the full
+        # Diophantine dependence analysis, so halving the calls matters).
+        phases_n = len(greedy_phases(group, shapes))
         for p in self.passes:
             before_n = len(group)
-            before_ph = len(greedy_phases(group, shapes))
+            before_ph = phases_n
             with telemetry.tracing.span(
                 f"pass:{p.name}", cat="frontend",
                 group=group.name, stencils_in=before_n,
@@ -125,13 +129,14 @@ class PassManager:
                 telemetry.count(
                     "frontend.stencils_eliminated", before_n - after_n
                 )
+            phases_n = len(greedy_phases(group, shapes))
             self.records.append(
                 PassRecord(
                     p.name,
                     before_n,
                     after_n,
                     before_ph,
-                    len(greedy_phases(group, shapes)),
+                    phases_n,
                 )
             )
             telemetry.event(

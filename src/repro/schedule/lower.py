@@ -1,0 +1,305 @@
+"""Lowering: frontend analysis -> :class:`~repro.schedule.ir.Schedule`.
+
+This is the one place fusion legality, snapshot decisions and
+checkerboard recognition run.  The historical copies
+(``c_backend.fusion_chains``, ``analysis.optimize.fusion_candidates``,
+the emitter-internal parity detection) are now thin shims over the
+functions here.
+
+Chains are computed *within* dependence phases, which closes a latent
+race in the legacy OpenMP path: a program-order chain could straddle a
+barrier (its tail independent of the phase-mate it got glued to but not
+of an earlier phase member), hoisting stores across a ``taskwait``.
+Phase-local chains make that impossible by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from ..analysis.dag import plan
+from ..analysis.dependence import group_dependences, intra_stencil_hazards
+from ..core.stencil import StencilGroup
+from ..core.validate import iteration_shape
+from ..telemetry import tracing
+from .ir import Evidence, ParityClass, Schedule, SchedulePhase, Step, detect_parity_class
+from .options import ScheduleOptions
+
+__all__ = [
+    "fusion_chains",
+    "build_schedule",
+    "schedule_for",
+    "as_schedule",
+    "pop_schedule_spec",
+]
+
+
+def fusion_chains(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    *,
+    deps: Mapping[tuple[int, int], frozenset] | None = None,
+    within: Sequence[Sequence[int]] | None = None,
+) -> list[list[int]]:
+    """Maximal runs of adjacent stencils legal to fuse into one nest.
+
+    A stencil joins the current chain when it shares the chain's domain
+    and output map, has no RAW/WAW dependence with *any* chain member
+    (transitive safety — pairwise adjacency is not enough once three
+    stencils share one loop nest), and needs no gather snapshot.
+
+    ``within`` restricts chains to the given phases (each a sequence of
+    group indices); ``None`` chains over full program order, which is
+    the legacy ``c_backend.fusion_chains`` behaviour.
+    """
+    if deps is None:
+        deps = group_dependences(group, shapes)
+
+    def needs_snapshot(i: int) -> bool:
+        return group[i].is_inplace() and bool(
+            intra_stencil_hazards(group[i], shapes)
+        )
+
+    sequences = (
+        [list(range(len(group)))]
+        if within is None
+        else [list(seq) for seq in within if seq]
+    )
+    chains: list[list[int]] = []
+    for seq in sequences:
+        current = [seq[0]]
+        for j in seq[1:]:
+            head = group[current[0]]
+            ok = (
+                group[j].domain == head.domain
+                and group[j].output_map == head.output_map
+                and not needs_snapshot(j)
+                and not needs_snapshot(current[0])
+                and all(
+                    not ({"RAW", "WAW"} & set(deps.get((i, j), ())))
+                    for i in current
+                )
+            )
+            if ok:
+                current.append(j)
+            else:
+                chains.append(current)
+                current = [j]
+        chains.append(current)
+    return chains
+
+
+def build_schedule(
+    group: StencilGroup,
+    shapes: Mapping[str, Sequence[int]],
+    options: ScheduleOptions | None = None,
+) -> Schedule:
+    """Lower ``group`` to a :class:`Schedule` under ``options``.
+
+    Runs the dependence plan, phase-local fusion chaining, per-stencil
+    hazard (snapshot) analysis and checkerboard recognition, tagging
+    every decision with its legalizing evidence.
+    """
+    options = options or ScheduleOptions()
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    with tracing.span(
+        "schedule", cat="analysis", group=group.name,
+        policy=options.policy, fuse=options.fuse,
+        multicolor=options.multicolor,
+    ):
+        exec_plan = plan(group, norm, policy=options.policy)
+        hazards = [intra_stencil_hazards(s, norm) for s in group]
+        chains = (
+            fusion_chains(
+                group, norm, deps=exec_plan.dependences,
+                within=exec_plan.phases,
+            )
+            if options.fuse
+            else [[i] for ph in exec_plan.phases for i in ph]
+        )
+        chain_of_head = {c[0]: c for c in chains}
+
+        phases: list[SchedulePhase] = []
+        for pi, phase in enumerate(exec_plan.phases):
+            steps: list[Step] = []
+            emitted: set[int] = set()
+            for si in phase:
+                if si in emitted:
+                    continue
+                chain = chain_of_head.get(si, [si])
+                emitted.update(chain)
+                steps.append(_make_step(group, norm, chain, hazards, options))
+            phases.append(SchedulePhase(pi, tuple(steps)))
+    return Schedule(group, norm, options, exec_plan, tuple(phases))
+
+
+def _make_step(group, shapes, chain, hazards, options) -> Step:
+    si = chain[0]
+    head = group[si]
+    evidence: list[Evidence] = []
+    parallel = all(not hazards[i] for i in chain)
+    if parallel:
+        evidence.append(
+            Evidence("parallel", "no loop-carried lattice intersection")
+        )
+    else:
+        evidence.append(
+            Evidence(
+                "serialized",
+                "; ".join(str(h) for i in chain for h in hazards[i]),
+            )
+        )
+    snapshot = len(chain) == 1 and head.is_inplace() and bool(hazards[si])
+    if snapshot:
+        evidence.append(
+            Evidence(
+                "snapshot",
+                "gather semantics restored by reading the output grid "
+                "through a copy: " + "; ".join(str(h) for h in hazards[si]),
+            )
+        )
+    if len(chain) > 1:
+        evidence.append(
+            Evidence(
+                "fuse",
+                f"{len(chain)} stencils share domain and output map; "
+                "no RAW/WAW lattice intersection among members; all "
+                "snapshot-free",
+            )
+        )
+    sweep: ParityClass | None = None
+    if options.multicolor:
+        it_shape = iteration_shape(head, shapes)
+        rects = [
+            r for r in head.domain.resolve(it_shape) if not r.is_empty()
+        ]
+        sweep = detect_parity_class(rects)
+        if sweep is not None:
+            evidence.append(
+                Evidence(
+                    "multicolor",
+                    f"{len(rects)} stride-2 boxes exactly tile parity "
+                    f"{sweep.parity} of the dense box "
+                    f"{list(sweep.base)}..{list(sweep.high)}; reordered "
+                    "into one parity-corrected sweep",
+                )
+            )
+    return Step(
+        stencils=tuple(chain),
+        parallel=parallel,
+        snapshot=snapshot,
+        sweep=sweep,
+        evidence=tuple(evidence),
+    )
+
+
+# ---------------------------------------------------------------------------
+# memoized construction + option resolution (the backends' entry points)
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[tuple, Schedule] = {}
+_CACHE_LOCK = threading.Lock()
+_CACHE_CAP = 128
+
+
+def schedule_for(
+    group: StencilGroup,
+    shapes: Mapping[str, Sequence[int]],
+    options: ScheduleOptions | None = None,
+) -> Schedule:
+    """Memoized :func:`build_schedule` (keyed on signature/shapes/options)."""
+    options = options or ScheduleOptions()
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    key = (group.signature(), tuple(sorted(norm.items())), options)
+    with _CACHE_LOCK:
+        sched = _CACHE.get(key)
+    if sched is not None:
+        return sched
+    sched = build_schedule(group, norm, options)
+    with _CACHE_LOCK:
+        if len(_CACHE) >= _CACHE_CAP:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[key] = sched
+    return sched
+
+
+def as_schedule(
+    spec: "Schedule | ScheduleOptions | str | None",
+    group: StencilGroup,
+    shapes: Mapping[str, Sequence[int]],
+    options: ScheduleOptions | None = None,
+) -> Schedule:
+    """Coerce whatever a caller handed a backend into a :class:`Schedule`.
+
+    ``spec`` may be a prebuilt :class:`Schedule` (checked against this
+    group/shapes), a :class:`ScheduleOptions`, a bare policy string
+    (legacy ``schedule="wavefront"`` usage), or ``None``; ``options``
+    supplies the remaining knobs for the string/None forms.
+    """
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    if isinstance(spec, Schedule):
+        if spec.group.signature() != group.signature():
+            raise ValueError(
+                f"schedule was built for group {spec.group.name!r} "
+                f"(different signature than {group.name!r})"
+            )
+        if dict(spec.shapes) != norm:
+            raise ValueError(
+                f"schedule was built for shapes {dict(spec.shapes)}, "
+                f"asked to execute with {norm}"
+            )
+        return spec
+    if isinstance(spec, ScheduleOptions):
+        return schedule_for(group, norm, spec)
+    base = options or ScheduleOptions()
+    if isinstance(spec, str):
+        base = replace(base, policy=spec)
+    elif spec is not None:
+        raise TypeError(
+            f"schedule must be a Schedule, ScheduleOptions or policy "
+            f"string, got {type(spec).__name__}"
+        )
+    return schedule_for(group, norm, base)
+
+
+def pop_schedule_spec(
+    options: dict,
+    *,
+    backend: str,
+    knobs: Mapping[str, object],
+) -> "Schedule | ScheduleOptions":
+    """Validate and consume a backend's scheduling kwargs.
+
+    ``knobs`` is the backend's declared vocabulary (name -> default);
+    ``schedule`` always accepts a prebuilt :class:`Schedule` or a policy
+    string.  Mutates ``options``; raises ``TypeError`` on anything the
+    backend did not declare, naming the valid knobs.
+    """
+    bad = sorted(set(options) - set(knobs))
+    if bad:
+        raise TypeError(
+            f"unknown options for {backend!r}: {bad}; "
+            f"valid scheduling options are {sorted(knobs)}"
+        )
+    spec = options.pop("schedule", knobs.get("schedule", "greedy"))
+    if isinstance(spec, (Schedule, ScheduleOptions)):
+        mixed = sorted(set(options) & set(knobs))
+        if mixed:
+            raise TypeError(
+                f"cannot combine a prebuilt schedule with loose "
+                f"scheduling options {mixed}"
+            )
+        return spec
+    kw: dict = {}
+    for name, default in knobs.items():
+        if name == "schedule":
+            continue
+        kw[name] = options.pop(name, default)
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"schedule must be a Schedule, ScheduleOptions or policy "
+            f"string, got {type(spec).__name__}"
+        )
+    return ScheduleOptions(policy=spec, **kw)

@@ -1,0 +1,91 @@
+"""The single scheduling-option vocabulary shared by every backend.
+
+Before the schedule IR existed, each micro-compiler grew its own kwargs
+(``tile``/``multicolor``/``fuse`` on the C targets, ``schedule`` strings
+on OpenMP and the GPU simulators, ``block`` on CUDA) and validated them
+independently.  :class:`ScheduleOptions` collapses those into one
+declared, validated record; a backend only states *which* of the knobs
+it honours (its ``_KNOBS`` mapping) and the shared resolution helper in
+:mod:`repro.schedule.lower` does the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["POLICIES", "ScheduleOptions"]
+
+#: barrier-placement policies understood by :func:`repro.analysis.dag.plan`
+POLICIES = ("greedy", "wavefront", "serial")
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Every decision :func:`~repro.schedule.build_schedule` can make.
+
+    ``policy``
+        Barrier placement: ``greedy`` (the paper's in-order policy),
+        ``wavefront`` (ASAP reordering), or ``serial``.
+    ``fuse``
+        Fuse runs of independent same-domain stencils *within a phase*
+        into one loop nest / kernel.
+    ``multicolor``
+        Recognize checkerboard domain unions and emit one
+        parity-corrected dense sweep instead of 2^(d-1) strided sweeps.
+    ``tile``
+        Cache-block / task-granularity size on the outermost free loop
+        (CPU targets only; ``None`` disables tiling).
+    ``block``
+        2-D thread-block shape for the CUDA target (``None`` keeps the
+        backend default).
+    """
+
+    policy: str = "greedy"
+    fuse: bool = False
+    multicolor: bool = True
+    tile: int | None = None
+    block: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r}; "
+                f"choose from {POLICIES}"
+            )
+        object.__setattr__(self, "fuse", bool(self.fuse))
+        object.__setattr__(self, "multicolor", bool(self.multicolor))
+        if self.tile is not None:
+            t = int(self.tile)
+            if t < 1:
+                raise ValueError(f"tile must be a positive int, got {self.tile!r}")
+            object.__setattr__(self, "tile", t)
+        if self.block is not None:
+            b = tuple(int(x) for x in self.block)
+            if len(b) != 2 or any(x < 1 for x in b):
+                raise ValueError(
+                    f"block must be a pair of positive ints, got {self.block!r}"
+                )
+            object.__setattr__(self, "block", b)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "fuse": self.fuse,
+            "multicolor": self.multicolor,
+            "tile": self.tile,
+            "block": list(self.block) if self.block is not None else None,
+        }
+
+    def describe(self) -> str:
+        parts = [f"policy={self.policy}"]
+        for f in ("fuse", "multicolor"):
+            parts.append(f"{f}={'on' if getattr(self, f) else 'off'}")
+        if self.tile is not None:
+            parts.append(f"tile={self.tile}")
+        if self.block is not None:
+            parts.append(f"block={self.block[0]}x{self.block[1]}")
+        return " ".join(parts)
+
+
+#: the knob names a backend may declare (sanity check for ``_KNOBS``)
+KNOB_NAMES = frozenset(f.name for f in fields(ScheduleOptions)) | {"schedule"}

@@ -1,5 +1,19 @@
 """Autotuning utilities for the compiled micro-compilers."""
 
-from .autotune import DEFAULT_CANDIDATES, TuneResult, autotune_tile
+from .autotune import (
+    DEFAULT_CANDIDATES,
+    ScheduleTuneResult,
+    TuneResult,
+    autotune_schedule,
+    autotune_tile,
+    default_schedule_candidates,
+)
 
-__all__ = ["DEFAULT_CANDIDATES", "TuneResult", "autotune_tile"]
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "ScheduleTuneResult",
+    "TuneResult",
+    "autotune_schedule",
+    "autotune_tile",
+    "default_schedule_candidates",
+]

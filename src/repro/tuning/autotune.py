@@ -1,23 +1,32 @@
-"""Tile-size autotuning (paper SectionIV-A).
+"""Schedule autotuning (paper SectionIV-A).
 
 The OpenMP micro-compiler "allows the user to specify a tiling size when
 compiling the stencil, and provides a method of tuning tiling sizes" —
-this module is that method: exhaustive timing over a candidate set with
-warmup, returning the best tile and the full timing table so benchmark
-reports can show the tuning curve.
+this module is that method, generalized to the unified schedule IR:
+:func:`autotune_schedule` times a group under a set of candidate
+:class:`~repro.schedule.ScheduleOptions` (tile, fuse, multicolor,
+policy, block) and returns the fastest, while :func:`autotune_tile`
+keeps the historical tile-only surface as a thin wrapper.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.stencil import StencilGroup
+from ..schedule import ScheduleOptions, schedule_for
 from ..util.timing import best_of
 
-__all__ = ["TuneResult", "autotune_tile"]
+__all__ = [
+    "TuneResult",
+    "ScheduleTuneResult",
+    "autotune_tile",
+    "autotune_schedule",
+    "default_schedule_candidates",
+]
 
 DEFAULT_CANDIDATES = (2, 4, 8, 16, 32, 64)
 
@@ -31,6 +40,77 @@ class TuneResult:
         return max(self.timings.values()) / self.timings[self.best_tile]
 
 
+@dataclass(frozen=True)
+class ScheduleTuneResult:
+    """Outcome of a schedule search: the winning options + full table."""
+
+    best: ScheduleOptions
+    timings: tuple  # ((ScheduleOptions, seconds), ...) in candidate order
+
+    def best_time(self) -> float:
+        return dict(self.timings)[self.best]
+
+    def speedup_over_worst(self) -> float:
+        times = [t for _, t in self.timings]
+        return max(times) / self.best_time()
+
+
+def default_schedule_candidates(
+    tiles: Sequence[int] = DEFAULT_CANDIDATES,
+    *,
+    base: ScheduleOptions | None = None,
+    fuse: Sequence[bool] = (False,),
+) -> list[ScheduleOptions]:
+    """The standard search grid: every tile size × fusion on/off."""
+    base = base or ScheduleOptions()
+    return [
+        replace(base, tile=int(t), fuse=f) for f in fuse for t in tiles
+    ]
+
+
+def autotune_schedule(
+    group: StencilGroup,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, float] | None = None,
+    *,
+    backend: str = "c",
+    candidates: Sequence[ScheduleOptions] | None = None,
+    repeats: int = 3,
+    **backend_options,
+) -> ScheduleTuneResult:
+    """Time ``group`` under each candidate schedule; pick the fastest.
+
+    Every candidate is lowered once through
+    :func:`repro.schedule.build_schedule` and handed to the backend as a
+    prebuilt ``schedule=`` — the search space is the schedule IR itself,
+    not per-backend kwargs.  ``arrays`` are working copies (the tuner
+    mutates them — pass scratch grids, not live data); non-scheduling
+    ``backend_options`` (e.g. ``cc_timeout``) flow through unchanged.
+    """
+    params = dict(params or {})
+    shapes = {g: tuple(int(x) for x in a.shape) for g, a in arrays.items()}
+    if candidates is None:
+        candidates = default_schedule_candidates()
+    timings: list[tuple[ScheduleOptions, float]] = []
+    for opts in candidates:
+        sched = schedule_for(group, shapes, opts)
+        kernel = group.compile(
+            backend=backend, shapes=shapes, schedule=sched,
+            **backend_options,
+        )
+        timings.append(
+            (
+                opts,
+                best_of(
+                    lambda: kernel(**arrays, **params),
+                    warmup=1, repeats=repeats,
+                ),
+            )
+        )
+    best = min(timings, key=lambda item: item[1])[0]
+    return ScheduleTuneResult(best, tuple(timings))
+
+
 def autotune_tile(
     group: StencilGroup,
     arrays: Mapping[str, np.ndarray],
@@ -41,21 +121,27 @@ def autotune_tile(
     repeats: int = 3,
     **backend_options,
 ) -> TuneResult:
-    """Time ``group`` under each candidate tile size; pick the fastest.
+    """Historical tile-only tuning surface over :func:`autotune_schedule`.
 
-    ``arrays`` are working copies (the tuner mutates them — pass scratch
-    grids, not live data).  Extra ``backend_options`` flow through to the
-    micro-compiler so tuning composes with e.g. ``multicolor=False``.
+    Legacy scheduling kwargs (``multicolor=False``, ``fuse=True``,
+    ``schedule="wavefront"``) become fields of the base
+    :class:`ScheduleOptions`; anything else passes through to the
+    backend.
     """
-    params = dict(params or {})
-    shapes = {g: a.shape for g, a in arrays.items()}
-    timings: dict[int, float] = {}
-    for tile in candidates:
-        kernel = group.compile(
-            backend=backend, shapes=shapes, tile=int(tile), **backend_options
-        )
-        timings[int(tile)] = best_of(
-            lambda: kernel(**arrays, **params), warmup=1, repeats=repeats
-        )
-    best = min(timings, key=timings.get)
-    return TuneResult(best, timings)
+    base = ScheduleOptions(
+        policy=backend_options.pop("schedule", "greedy"),
+        fuse=backend_options.pop("fuse", False),
+        multicolor=backend_options.pop("multicolor", True),
+        block=backend_options.pop("block", None),
+    )
+    result = autotune_schedule(
+        group,
+        arrays,
+        params,
+        backend=backend,
+        candidates=[replace(base, tile=int(t)) for t in candidates],
+        repeats=repeats,
+        **backend_options,
+    )
+    timings = {opts.tile: t for opts, t in result.timings}
+    return TuneResult(result.best.tile, timings)

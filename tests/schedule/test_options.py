@@ -1,0 +1,106 @@
+"""ScheduleOptions validation and the one-place knob resolution."""
+
+import pytest
+
+from repro.schedule import (
+    POLICIES,
+    Schedule,
+    ScheduleOptions,
+    pop_schedule_spec,
+    schedule_for,
+)
+from tests.schedule._cases import laplacian_pair
+
+
+class TestScheduleOptions:
+    def test_defaults(self):
+        o = ScheduleOptions()
+        assert o.policy == "greedy"
+        assert o.fuse is False
+        assert o.multicolor is True
+        assert o.tile is None
+        assert o.block is None
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_valid_policies(self, policy):
+        assert ScheduleOptions(policy=policy).policy == policy
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            ScheduleOptions(policy="eager")
+
+    @pytest.mark.parametrize("tile", [0, -4, "wide"])
+    def test_bad_tile_rejected(self, tile):
+        with pytest.raises(ValueError):
+            ScheduleOptions(tile=tile)
+
+    @pytest.mark.parametrize("block", [(0, 4), (32,), "32x4"])
+    def test_bad_block_rejected(self, block):
+        with pytest.raises(ValueError):
+            ScheduleOptions(block=block)
+
+    def test_bools_coerced_and_hashable(self):
+        o = ScheduleOptions(fuse=1, multicolor=0)
+        assert o.fuse is True and o.multicolor is False
+        assert hash(o) == hash(ScheduleOptions(fuse=True, multicolor=False))
+
+    def test_describe_and_to_dict(self):
+        o = ScheduleOptions(fuse=True, tile=8)
+        assert "fuse=on" in o.describe() and "tile=8" in o.describe()
+        assert o.to_dict()["tile"] == 8
+
+
+KNOBS = {"schedule": "greedy", "tile": None, "multicolor": True,
+         "fuse": False}
+
+
+class TestPopScheduleSpec:
+    def test_unknown_knob_names_valid_set(self):
+        with pytest.raises(TypeError, match="tile"):
+            pop_schedule_spec(
+                {"tilesize": 8}, backend="c", knobs=KNOBS
+            )
+
+    def test_builds_options_from_loose_knobs(self):
+        opts = {"fuse": True, "tile": 4}
+        spec = pop_schedule_spec(opts, backend="c", knobs=KNOBS)
+        assert spec == ScheduleOptions(fuse=True, tile=4)
+        assert opts == {}  # consumed
+
+    def test_policy_string_accepted(self):
+        spec = pop_schedule_spec(
+            {"schedule": "wavefront"}, backend="c", knobs=KNOBS
+        )
+        assert spec.policy == "wavefront"
+
+    def test_prebuilt_options_pass_through(self):
+        o = ScheduleOptions(fuse=True)
+        assert pop_schedule_spec(
+            {"schedule": o}, backend="c", knobs=KNOBS
+        ) is o
+
+    def test_mixing_prebuilt_with_loose_knobs_rejected(self):
+        with pytest.raises(TypeError, match="combine"):
+            pop_schedule_spec(
+                {"schedule": ScheduleOptions(), "tile": 8},
+                backend="c", knobs=KNOBS,
+            )
+
+    def test_mixing_prebuilt_schedule_with_loose_knobs_rejected(self):
+        group, shapes = laplacian_pair()
+        sched = schedule_for(group, shapes)
+        assert isinstance(sched, Schedule)
+        with pytest.raises(TypeError, match="combine"):
+            pop_schedule_spec(
+                {"schedule": sched, "fuse": True},
+                backend="c", knobs=KNOBS,
+            )
+
+    def test_non_string_spec_rejected(self):
+        with pytest.raises(TypeError, match="policy"):
+            pop_schedule_spec({"schedule": 42}, backend="c", knobs=KNOBS)
+
+    def test_backend_surface_rejects_undeclared_knob(self):
+        group, shapes = laplacian_pair()
+        with pytest.raises(TypeError, match="tile"):
+            group.compile(backend="numpy", shapes=shapes, tile=8)
