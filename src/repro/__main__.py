@@ -247,8 +247,16 @@ def cmd_bench(args) -> int:
     print(f"machine: {spec['name']} "
           f"({spec['stream_bw'] / 1e9:.1f} GB/s STREAM)")
     for op, rec in doc["operators"].items():
+        cost = rec["cost"]
+        opt = rec["opt_report"]
         print(f"{op}: {rec['bytes_per_point']:.0f} B/point, "
+              f"{cost['flops_per_point']} flops/point, "
+              f"AI {cost['arithmetic_intensity']:.3f}, "
               f"roofline {rec['roofline_points_per_s']:.3e} points/s")
+        print(f"  kernel opt: nodes {opt['nodes_before']}->"
+              f"{opt['nodes_after']}, {opt['reads_deduped']} reads deduped, "
+              f"{opt['bindings_hoisted']} hoisted, "
+              f"{opt['fma_grouped']} fma grouped")
         for b, t in rec["backends"].items():
             if "error" in t:
                 print(f"  {b:8s} ERROR: {t['error']}")

@@ -1,8 +1,14 @@
 """Shared C99 emitter for the compiled micro-compilers.
 
-Renders the canonical flat form into loop nests.  Responsibilities:
+Renders the optimized kernel IR into loop nests.  Responsibilities:
 
 * grid/param naming and row-major stride baking (shape-specialized),
+* rendering a :class:`~repro.kernel.ir.KernelBody` as C99 let-bindings:
+  depth-0 bindings become a ``const`` scalar prelude before the loop
+  nest, deeper bindings become ``const`` locals in the innermost loop
+  body, and the result expression feeds the store (every binding name
+  gets a per-kernel ``k<n>_`` prefix, so the same stencil may appear
+  several times in one translation unit),
 * affine index expressions ``(scale*i + off) * stride`` folded per dim,
 * gather-semantics snapshots for hazardous in-place stencils (decided by
   the dependence analysis — safe stencils pay nothing),
@@ -35,10 +41,23 @@ from ..core.domains import ResolvedRect
 from ..core.flatten import FlatTerm
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
+from ..kernel.ir import (
+    KAdd,
+    KConst,
+    KDiv,
+    KExpr,
+    KFma,
+    KLoad,
+    KMul,
+    KParam,
+    KRef,
+)
+from ..kernel.lower import body_for
 from ..schedule.ir import ParityClass, detect_parity_class
 
 __all__ = [
     "CodegenContext",
+    "KernelParts",
     "StencilLoops",
     "C_PREAMBLE",
     "ctype_for",
@@ -76,6 +95,21 @@ def _lit(value: float, ctype: str) -> str:
 
 
 @dataclass
+class KernelParts:
+    """One stencil's kernel body rendered to C fragments.
+
+    ``scalar_lines`` (depth-0 bindings) belong *before* the loop nest,
+    ``inner_lines`` in the innermost loop body just above the store of
+    ``result``.  Names are already ``k<n>_``-prefixed, unique within
+    the :class:`CodegenContext` that produced them.
+    """
+
+    scalar_lines: list[str]
+    inner_lines: list[str]
+    result: str
+
+
+@dataclass
 class CodegenContext:
     """Shape/dtype-specialized naming and layout information."""
 
@@ -88,6 +122,7 @@ class CodegenContext:
     grid_cname: dict[str, str] = field(init=False)
     param_cname: dict[str, str] = field(init=False)
     strides: dict[str, tuple[int, ...]] = field(init=False)
+    _kernel_seq: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self.grid_order = sorted(self.group.grids())
@@ -171,6 +206,8 @@ class CodegenContext:
         loopvars: Sequence[str],
         source_name: Callable[[str], str],
     ) -> str:
+        """Legacy term-by-term emission (superseded by the kernel IR;
+        kept for comparison tooling and tests of the raw order)."""
         factors = [_lit(term.coeff, self.ctype)]
         for p in term.params:
             factors.append(self.param_cname[p])
@@ -188,11 +225,83 @@ class CodegenContext:
         loopvars: Sequence[str],
         source_name: Callable[[str], str],
     ) -> str:
+        """Legacy whole-body emission (see :meth:`term_expr`)."""
         terms = stencil.flat.terms
         if not terms:
             return _lit(0.0, self.ctype)
         return "\n        + ".join(
             self.term_expr(t, loopvars, source_name) for t in terms
+        )
+
+    # -- kernel IR rendering -------------------------------------------------
+
+    def fresh_prefix(self) -> str:
+        """Unique let-binding prefix — the same :class:`Stencil` object
+        may be emitted several times in one translation unit (a group
+        can list it at multiple indices), so names cannot key on the
+        stencil."""
+        p = f"k{self._kernel_seq}_"
+        self._kernel_seq += 1
+        return p
+
+    def render_kexpr(
+        self,
+        expr: KExpr,
+        loopvars: Sequence[str],
+        source_name: Callable[[str], str],
+        names: Mapping[str, str],
+    ) -> str:
+        """One kernel-IR expression as fully-parenthesized C.
+
+        Parentheses pin the IR's evaluation order exactly; under the
+        strict-ISO flag set (no ``-ffast-math``, default
+        ``-ffp-contract=off``) the compiler preserves it, which is what
+        keeps the compiled backends bitwise-equal to the reference
+        interpreter.  A :class:`KFma` renders as a separate multiply
+        and add for the same reason.
+        """
+        r = lambda e: self.render_kexpr(e, loopvars, source_name, names)  # noqa: E731
+        if isinstance(expr, KConst):
+            return _lit(expr.value, self.ctype)
+        if isinstance(expr, KParam):
+            return self.param_cname[expr.name]
+        if isinstance(expr, KRef):
+            return names[expr.name]
+        if isinstance(expr, KLoad):
+            idx = self.index_expr(expr.grid, expr.scale, expr.offset, loopvars)
+            return f"{source_name(expr.grid)}[{idx}]"
+        if isinstance(expr, KAdd):
+            return f"({r(expr.lhs)} + {r(expr.rhs)})"
+        if isinstance(expr, KMul):
+            return f"({r(expr.lhs)} * {r(expr.rhs)})"
+        if isinstance(expr, KDiv):
+            return f"({r(expr.lhs)} / {r(expr.rhs)})"
+        if isinstance(expr, KFma):
+            return f"({r(expr.a)} * {r(expr.b)} + {r(expr.c)})"
+        raise TypeError(f"cannot render {type(expr).__name__}")
+
+    def kernel_parts(
+        self,
+        stencil: Stencil,
+        loopvars: Sequence[str],
+        source_name: Callable[[str], str],
+        optimize: bool | None = None,
+    ) -> KernelParts:
+        """Render ``stencil``'s (cached) kernel body to C fragments."""
+        body, _ = body_for(stencil, optimize)
+        prefix = self.fresh_prefix()
+        names = {l.name: prefix + l.name for l in body.lets}
+        scalar: list[str] = []
+        inner: list[str] = []
+        for let in body.lets:
+            line = (
+                f"const {self.ctype} {names[let.name]} = "
+                f"{self.render_kexpr(let.expr, loopvars, source_name, names)};"
+            )
+            (scalar if let.depth == 0 else inner).append(line)
+        return KernelParts(
+            scalar, inner,
+            self.render_kexpr(body.result, loopvars, source_name, names),
         )
 
 
@@ -240,6 +349,15 @@ class StencilLoops:
         self.rects = [
             r for r in stencil.domain.resolve(it_shape) if not r.is_empty()
         ]
+        # Kernel bodies rendered once per StencilLoops: every nest form
+        # (rect or parity) uses the same i0..i{d-1} loop variables.
+        loopvars = [f"i{d}" for d in range(stencil.ndim)]
+        self.parts = [ctx.kernel_parts(stencil, loopvars, self.source_name)]
+        for st in self.fused_with:
+            # fused members are snapshot-free by construction
+            self.parts.append(
+                ctx.kernel_parts(st, loopvars, lambda g: ctx.grid_cname[g])
+            )
 
     # -- naming --------------------------------------------------------------
 
@@ -256,8 +374,16 @@ class StencilLoops:
     # -- emission ------------------------------------------------------------
 
     def emit(self, task_pragma: str | None = None) -> list[str]:
-        """Full C lines for this stencil (without snapshot management)."""
+        """Full C lines for this stencil (without snapshot management).
+
+        Starts with the hoisted scalar prelude (depth-0 bindings,
+        evaluated once per sweep), then the loop nests.  Under OpenMP
+        the prelude precedes the task pragmas; the ``const`` locals are
+        firstprivate-captured by the tasks.
+        """
         lines: list[str] = []
+        for parts in self.parts:
+            lines += parts.scalar_lines
         pc = self.parity
         if pc is not None:
             lines += self._emit_parity_nest(pc, task_pragma)
@@ -269,18 +395,12 @@ class StencilLoops:
     def _store_stmt(self, loopvars: Sequence[str]) -> list[str]:
         ctx = self.ctx
         stmts = []
-        for st in (self.stencil, *self.fused_with):
+        for st, parts in zip((self.stencil, *self.fused_with), self.parts):
             om = st.output_map
             out_idx = ctx.index_expr(st.output, om.scale, om.offset, loopvars)
-            if st is self.stencil:
-                body = ctx.body_expr(st, loopvars, self.source_name)
-            else:
-                # fused members are snapshot-free by construction
-                body = ctx.body_expr(
-                    st, loopvars, lambda g: ctx.grid_cname[g]
-                )
+            stmts.extend(parts.inner_lines)
             out = ctx.grid_cname[st.output]
-            stmts.append(f"{out}[{out_idx}] = {body};")
+            stmts.append(f"{out}[{out_idx}] = {parts.result};")
         return stmts
 
     def _emit_rect_nest(

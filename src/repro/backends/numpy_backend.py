@@ -1,10 +1,12 @@
 """Vectorized numpy micro-compiler.
 
-Executes each domain box as strided-slice arithmetic: the iteration
-lattice maps to numpy views (no copies — per the numpy performance
-idiom, views not copies), each flat term is an elementwise product of
-views, and the sum is materialized once per box before being assigned to
-the output view (rect-local gather semantics).
+Executes each domain box as strided-slice arithmetic over the stencil's
+:class:`~repro.kernel.ir.KernelBody`: the iteration lattice maps to
+numpy views (no copies — per the numpy performance idiom, views not
+copies), each let-binding is evaluated once per box — so a grid read
+shared by many terms is fetched and combined once per sweep — and the
+result is materialized before being assigned to the output view
+(rect-local gather semantics).
 
 The dependence analysis is consulted exactly as in the compiled
 backends: an in-place stencil only pays for a snapshot of its output
@@ -21,8 +23,10 @@ import numpy as np
 from .. import telemetry
 from ..analysis.dependence import is_parallel_safe
 from ..core.domains import ResolvedRect
+from ..core.flatten import term_scalar
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
+from ..kernel import body_for, eval_rect, eval_scalar_lets
 from ..schedule import as_schedule, pop_schedule_spec
 from .base import Backend, register_backend
 
@@ -68,7 +72,19 @@ class _StencilExec:
         self.out_slices = [
             lattice_slices(r, om.scale, om.offset) for r in self.rects
         ]
-        # Precompute read slices per (rect, term, read).
+        # The kernel body this executor evaluates (consults the package
+        # toggle at specialization time, like the compiled backends).
+        self.body, _ = body_for(stencil)
+        # Precompute read slices per (rect, load) — distinct loads only;
+        # the binding structure already deduplicated repeats.
+        self.load_slices = [
+            {
+                ld.key: lattice_slices(r, ld.scale, ld.offset)
+                for ld in self.body.loads()
+            }
+            for r in self.rects
+        ]
+        # Legacy term path: slices per GridRead.
         self.read_slices = [
             {
                 read: lattice_slices(r, read.scale, read.offset)
@@ -89,16 +105,44 @@ class _StencilExec:
                 return snapshot
             return arrays[grid]
 
+        scalar_env = eval_scalar_lets(self.body, params)
+        for rect_i, (rect, oslc) in enumerate(zip(self.rects, self.out_slices)):
+            lslc = self.load_slices[rect_i]
+            # eval_rect always returns a fresh array, so assigning onto
+            # an output view that aliases a source grid is safe even
+            # when folding reduced the body to a bare load.
+            out[oslc] = eval_rect(
+                self.body,
+                lambda ld: source(ld.grid)[lslc[ld.key]],
+                params,
+                rect.counts,
+                out.dtype,
+                scalar_env,
+            )
+
+    def run_terms(
+        self, arrays: Mapping[str, np.ndarray], params: Mapping[str, float]
+    ) -> None:
+        """Legacy term-by-term evaluation (pre-kernel-IR path).
+
+        Kept as an independent cross-check for the kernel tests; the
+        scalar factor goes through the shared
+        :func:`~repro.core.flatten.term_scalar`.
+        """
+        stencil = self.stencil
+        out = arrays[stencil.output]
+        snapshot = out.copy() if self.needs_snapshot else None
+
+        def source(grid: str) -> np.ndarray:
+            if snapshot is not None and grid == stencil.output:
+                return snapshot
+            return arrays[grid]
+
         for rect_i, (rect, oslc) in enumerate(zip(self.rects, self.out_slices)):
             acc: np.ndarray | None = None
             rslc = self.read_slices[rect_i]
             for term in stencil.flat.terms:
-                scalar = term.coeff
-                for p in term.params:
-                    scalar *= params[p]
-                for p in term.denom_params:
-                    scalar /= params[p]
-                piece: np.ndarray | float = scalar
+                piece: np.ndarray | float = term_scalar(term, params)
                 for read in term.reads:
                     piece = piece * source(read.grid)[rslc[read]]
                 if isinstance(piece, float):

@@ -1,6 +1,8 @@
 """Pure-Python reference interpreter — the correctness oracle.
 
-Executes the canonical flat form point by point with *gather* semantics:
+Interprets each stencil's :class:`~repro.kernel.ir.KernelBody` — the
+same optimized body every compiled backend emits — point by point with
+*gather* semantics:
 every read observes the grid state as it was when the stencil application
 began (an in-place stencil reads its output grid through a snapshot).
 All other backends must agree bit-for-bit with this interpreter on
@@ -22,8 +24,10 @@ from typing import Callable, Mapping
 import numpy as np
 
 from .. import telemetry
+from ..core.flatten import term_scalar
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import iteration_shape
+from ..kernel import body_for, eval_point, eval_scalar_lets
 from ..schedule import as_schedule, pop_schedule_spec
 from .base import Backend, register_backend
 
@@ -36,6 +40,48 @@ def _apply_stencil(
     params: Mapping[str, float],
     shapes: Mapping[str, tuple[int, ...]],
 ) -> None:
+    """Interpret the stencil's (cached, optimized) kernel body."""
+    out = arrays[stencil.output]
+    snapshot = out.copy() if stencil.is_inplace() else None
+
+    def source(grid: str) -> np.ndarray:
+        if snapshot is not None and grid == stencil.output:
+            return snapshot
+        return arrays[grid]
+
+    body, _ = body_for(stencil)
+    scalar_env = eval_scalar_lets(body, params)
+    om = stencil.output_map
+    it_shape = iteration_shape(stencil, shapes)
+    for rect in stencil.domain.resolve(it_shape):
+        if rect.is_empty():
+            continue
+        for point in rect.points():
+
+            def load(ld):
+                idx = tuple(
+                    s * i + o
+                    for s, i, o in zip(ld.scale, point, ld.offset)
+                )
+                return source(ld.grid)[idx]
+
+            out[om.apply(point)] = eval_point(
+                body, load, params, scalar_env
+            )
+
+
+def _apply_stencil_terms(
+    stencil: Stencil,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, float],
+    shapes: Mapping[str, tuple[int, ...]],
+) -> None:
+    """Legacy term-by-term interpretation (pre-kernel-IR path).
+
+    Kept as the independent cross-check the kernel tests diff the IR
+    interpreter against; shares :func:`~repro.core.flatten.term_scalar`
+    with the legacy numpy path.
+    """
     out = arrays[stencil.output]
     snapshot = out.copy() if stencil.is_inplace() else None
 
@@ -52,11 +98,7 @@ def _apply_stencil(
         for point in rect.points():
             val = 0.0
             for term in stencil.flat.terms:
-                v = term.coeff
-                for p in term.params:
-                    v *= params[p]
-                for p in term.denom_params:
-                    v /= params[p]
+                v = term_scalar(term, params)
                 for read in term.reads:
                     idx = tuple(
                         s * i + o

@@ -38,9 +38,9 @@ from .hpgmg.operators import (
     jacobi_stencil,
     vc_laplacian,
 )
+from .kernel import body_for, kernel_cost
 from .machine.roofline import (
     PAPER_BYTES_PER_STENCIL,
-    bytes_per_point,
     roofline_stencils_per_s,
 )
 from .machine.specs import PAPER_PLATFORMS, MachineSpec, host_spec
@@ -50,6 +50,7 @@ __all__ = [
     "BENCH_KERNELS_SCHEMA",
     "DEFAULT_BACKENDS",
     "paper_operators",
+    "operator_cost",
     "resolve_spec",
     "run_bench",
     "write_bench_kernels",
@@ -66,9 +67,10 @@ DEFAULT_BACKENDS = ("c", "openmp", "numpy")
 def paper_operators(n: int = 32) -> dict[str, Stencil]:
     """The three operators of SectionV-B on an ``n``-interior cubic grid.
 
-    Each is constructed so its analytic :func:`bytes_per_point` equals
-    the paper constant (24 / 40 / 64) exactly — the roofline-paper
-    coverage test pins this.
+    Each is constructed so the analytic cost model
+    (:func:`repro.kernel.kernel_cost`) reports exactly the paper
+    constant (24 / 40 / 64 bytes/point) — :func:`operator_cost` asserts
+    that cross-check every time the bench runs.
     """
     h = 1.0 / n
     cc7 = Stencil(cc_laplacian(3, h), "out", interior(3), name="cc_7pt")
@@ -77,6 +79,23 @@ def paper_operators(n: int = 32) -> dict[str, Stencil]:
     red, _ = gsrb_stencils(3, vc, lam="lam")
     jac.name, red.name = "cc_jacobi", "vc_gsrb"  # report the paper's names
     return {"cc_7pt": cc7, "cc_jacobi": jac, "vc_gsrb": red}
+
+
+def operator_cost(op_name: str, stencil: Stencil):
+    """Cost one bench operator, cross-checking the paper constant.
+
+    The quoted 24/40/64 bytes/point are no longer hand-coded into the
+    roofline denominator — they survive only as *assertions* that the
+    analytic model reproduces them exactly.
+    """
+    cost = kernel_cost(stencil)
+    paper = PAPER_BYTES_PER_STENCIL.get(op_name)
+    if paper is not None and cost.bytes_per_point != paper:
+        raise AssertionError(
+            f"cost model drifted: {op_name} reports "
+            f"{cost.bytes_per_point} bytes/point, paper says {paper}"
+        )
+    return cost
 
 
 def resolve_spec(name: str = "host") -> MachineSpec:
@@ -186,11 +205,15 @@ def run_bench(
                     arrays[g] = np.abs(arrays[g]) * 0.01 + 0.01
             points = _points(stencil, shapes)
             working_set = sum(a.nbytes for a in arrays.values())
-            bpp = bytes_per_point(stencil)
+            cost = operator_cost(op_name, stencil)
+            bpp = cost.bytes_per_point
             roofline_pps = roofline_stencils_per_s(spec, bpp, working_set)
+            _, opt_report = body_for(stencil, optimize=True)
             record: dict = {
                 "bytes_per_point": bpp,
                 "paper_bytes_per_point": PAPER_BYTES_PER_STENCIL.get(op_name),
+                "cost": cost.to_dict(),
+                "opt_report": opt_report.to_dict(),
                 "points": points,
                 "working_set_bytes": working_set,
                 "roofline_points_per_s": roofline_pps,

@@ -6,7 +6,11 @@ output (an :class:`~repro.analysis.dag.ExecutionPlan`) records only
 assembles the full chain of custody for one compiled group:
 
 * per stencil — the Diophantine intra-stencil verdict (parallel-safe or
-  the list of loop-carried hazards that forbid it);
+  the list of loop-carried hazards that forbid it), plus the analytic
+  kernel cost (flops, compulsory bytes, arithmetic intensity from
+  :func:`repro.kernel.kernel_cost`) and the
+  :class:`~repro.kernel.optimize.OptReport` of the pass pipeline that
+  produced the body every backend emits;
 * per barrier — every cross-stencil dependence edge crossing it and the
   grids whose footprint-lattice intersections carry each RAW/WAR/WAW;
 * per group — the :class:`~repro.schedule.ir.Schedule` the backend will
@@ -33,6 +37,7 @@ from .analysis.dag import ExecutionPlan, plan
 from .analysis.dependence import intra_stencil_hazards
 from .backends.base import get_backend
 from .core.stencil import Stencil, StencilGroup
+from .kernel import kernel_cost
 from .schedule import Schedule, as_schedule, pop_schedule_spec
 from .telemetry import tracing
 
@@ -53,11 +58,36 @@ class StencilProvenance:
     output: str
     parallel_safe: bool
     hazards: tuple[str, ...]  # rendered Hazard messages, empty when safe
+    #: analytic per-point cost of the optimized kernel body
+    #: (:meth:`repro.kernel.cost.KernelCost.to_dict`)
+    cost: dict | None = None
+    #: what the kernel pass pipeline did
+    #: (:meth:`repro.kernel.optimize.OptReport.to_dict`)
+    opt_report: dict | None = None
 
     def verdict(self) -> str:
         if self.parallel_safe:
             return "parallel-safe (no loop-carried lattice intersection)"
         return "serialized: " + "; ".join(self.hazards)
+
+    def kernel_summary(self) -> str | None:
+        """One line of cost + optimization evidence, if available."""
+        if self.cost is None:
+            return None
+        bits = (
+            f"{self.cost['flops_per_point']} flops/pt, "
+            f"{self.cost['bytes_per_point']:g} B/pt, "
+            f"AI {self.cost['arithmetic_intensity']:.3f}"
+        )
+        if self.opt_report is not None:
+            r = self.opt_report
+            bits += (
+                f"; opt: nodes {r['nodes_before']}->{r['nodes_after']}, "
+                f"{r['reads_deduped']} reads deduped, "
+                f"{r['bindings_hoisted']} hoisted, "
+                f"{r['fma_grouped']} fma"
+            )
+        return bits
 
 
 @dataclass(frozen=True)
@@ -111,6 +141,8 @@ class GroupProvenance:
                     "output": s.output,
                     "parallel_safe": s.parallel_safe,
                     "hazards": list(s.hazards),
+                    "cost": s.cost,
+                    "opt_report": s.opt_report,
                 }
                 for s in self.stencils
             ],
@@ -145,6 +177,12 @@ class GroupProvenance:
         ]
         for s in self.stencils:
             lines.append(f"  [{s.index}] {s.name} -> {s.output}: {s.verdict()}")
+        lines.append("")
+        lines.append("kernel cost (analytic, per point):")
+        for s in self.stencils:
+            summary = s.kernel_summary()
+            if summary is not None:
+                lines.append(f"  [{s.index}] {s.name}: {summary}")
         lines.append("")
         lines.append("execution plan:")
         for l in self.plan.describe().splitlines():
@@ -203,6 +241,7 @@ def explain(
         stencils = []
         for i, st in enumerate(group):
             hazards = intra_stencil_hazards(st, shapes)
+            report = st.opt_report()
             stencils.append(
                 StencilProvenance(
                     index=i,
@@ -210,6 +249,8 @@ def explain(
                     output=st.output,
                     parallel_safe=not hazards,
                     hazards=tuple(str(h) for h in hazards),
+                    cost=kernel_cost(st).to_dict(),
+                    opt_report=report.to_dict() if report else None,
                 )
             )
         barriers = tuple(

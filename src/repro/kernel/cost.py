@@ -1,0 +1,101 @@
+"""Analytic per-point cost model over the kernel IR.
+
+Conventions follow the paper's SectionV-B *compulsory traffic* model
+(double precision, write-allocate caches, no cache-bypass stores, no
+capacity/conflict misses):
+
+* **bytes/point** — each *distinct grid* read costs one word (perfect
+  in-sweep reuse of neighbouring loads), the store costs one word, and
+  a write-allocate cache first fills the written line unless the sweep
+  already reads the output grid.  This reproduces the paper's quoted
+  24 / 40 / 64 bytes per stencil for the constant-coefficient 7-point
+  Laplacian, the constant-coefficient Jacobi smoother and the
+  variable-coefficient GSRB smoother (asserted exactly in
+  :mod:`repro.bench` and the test suite);
+* **flops/point** — IEEE operations executed per iteration point of
+  the *optimized* body: add/mul/div count 1, a structural FMA counts
+  2.  Depth-0 (hoisted) bindings are excluded — they run once per
+  sweep, not per point.
+
+``flops / bytes`` is the arithmetic intensity the roofline model
+positions against the machine balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .ir import KAdd, KDiv, KFma, KMul, KernelBody, walk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.stencil import Stencil
+
+__all__ = ["KernelCost", "body_cost", "kernel_cost", "WORD_BYTES"]
+
+#: double precision word, the paper's convention.
+WORD_BYTES = 8.0
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Per-point analytic cost of one stencil sweep."""
+
+    flops_per_point: int
+    read_grids: int        # distinct grids read
+    loads_per_point: int   # distinct loads the optimized body performs
+    bytes_per_point: float
+    write_allocate: bool
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of compulsory traffic."""
+        return self.flops_per_point / self.bytes_per_point
+
+    def to_dict(self) -> dict:
+        return {
+            "flops_per_point": self.flops_per_point,
+            "read_grids": self.read_grids,
+            "loads_per_point": self.loads_per_point,
+            "bytes_per_point": self.bytes_per_point,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "write_allocate": self.write_allocate,
+        }
+
+
+def body_cost(
+    body: KernelBody, output: str, *, write_allocate: bool = True
+) -> KernelCost:
+    """Cost a kernel body writing grid ``output``."""
+    read_grids = body.grids()
+    traffic = WORD_BYTES * len(read_grids)
+    traffic += WORD_BYTES  # the store itself
+    if write_allocate and output not in read_grids:
+        traffic += WORD_BYTES  # write-allocate fill of the stored line
+    flops = 0
+    for expr in [l.expr for l in body.inner_lets()] + [body.result]:
+        for node in walk(expr):
+            if isinstance(node, (KAdd, KMul, KDiv)):
+                flops += 1
+            elif isinstance(node, KFma):
+                flops += 2
+    return KernelCost(
+        flops_per_point=flops,
+        read_grids=len(read_grids),
+        loads_per_point=len(body.loads()),
+        bytes_per_point=traffic,
+        write_allocate=write_allocate,
+    )
+
+
+def kernel_cost(
+    stencil: "Stencil",
+    *,
+    write_allocate: bool = True,
+    optimize: bool = True,
+) -> KernelCost:
+    """Cost one stencil from its (by default optimized) kernel body."""
+    from .lower import body_for
+
+    body, _ = body_for(stencil, optimize=optimize)
+    return body_cost(body, stencil.output, write_allocate=write_allocate)

@@ -1,0 +1,134 @@
+"""Interpreters for :class:`~repro.kernel.ir.KernelBody`.
+
+Two granularities, matching the two interpreting backends:
+
+* :func:`eval_point` — scalar evaluation at one iteration point (the
+  python reference backend).  With Python floats the arithmetic is the
+  same IEEE-754 double sequence the compiled backends emit, so the
+  reference stays the bitwise oracle for float64;
+* :func:`eval_rect` — vectorized evaluation over a whole domain box,
+  where each load materializes as a numpy strided view (the numpy
+  backend).  Because each let-binding is evaluated once, a grid read
+  shared by many terms is fetched once per sweep instead of per term.
+
+Both take a ``load`` callback mapping a :class:`~repro.kernel.ir.KLoad`
+to its value, so this module knows nothing about arrays, snapshots or
+domain resolution — the backends own indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .ir import (
+    KAdd,
+    KConst,
+    KDiv,
+    KExpr,
+    KFma,
+    KLoad,
+    KMul,
+    KParam,
+    KRef,
+    KernelBody,
+)
+
+__all__ = ["eval_expr", "eval_scalar_lets", "eval_point", "eval_rect"]
+
+
+def eval_expr(
+    expr: KExpr,
+    load: "Callable[[KLoad], object] | None",
+    params: Mapping[str, float],
+    env: Mapping[str, object],
+):
+    """Evaluate one expression; ``env`` holds bound let values."""
+    if isinstance(expr, KConst):
+        return expr.value
+    if isinstance(expr, KParam):
+        return params[expr.name]
+    if isinstance(expr, KRef):
+        return env[expr.name]
+    if isinstance(expr, KLoad):
+        if load is None:
+            raise ValueError("expression contains a load but no loader given")
+        return load(expr)
+    if isinstance(expr, KAdd):
+        return eval_expr(expr.lhs, load, params, env) + eval_expr(
+            expr.rhs, load, params, env
+        )
+    if isinstance(expr, KMul):
+        return eval_expr(expr.lhs, load, params, env) * eval_expr(
+            expr.rhs, load, params, env
+        )
+    if isinstance(expr, KDiv):
+        return eval_expr(expr.lhs, load, params, env) / eval_expr(
+            expr.rhs, load, params, env
+        )
+    if isinstance(expr, KFma):
+        # Two separately-rounded ops — exactly the `(a * b + c)` the
+        # compiled backends emit, never a fused hardware FMA.
+        return eval_expr(expr.a, load, params, env) * eval_expr(
+            expr.b, load, params, env
+        ) + eval_expr(expr.c, load, params, env)
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def eval_scalar_lets(
+    body: KernelBody, params: Mapping[str, float]
+) -> dict[str, float]:
+    """Evaluate the depth-0 bindings once (the per-sweep prelude)."""
+    env: dict[str, float] = {}
+    for let in body.scalar_lets():
+        env[let.name] = eval_expr(let.expr, None, params, env)
+    return env
+
+
+def eval_point(
+    body: KernelBody,
+    load: Callable[[KLoad], float],
+    params: Mapping[str, float],
+    scalar_env: Mapping[str, float] | None = None,
+) -> float:
+    """Scalar value of the body at one iteration point.
+
+    Pass the result of :func:`eval_scalar_lets` as ``scalar_env`` to
+    amortize the hoisted bindings across the sweep.
+    """
+    env: dict = (
+        dict(scalar_env) if scalar_env is not None
+        else dict(eval_scalar_lets(body, params))
+    )
+    for let in body.inner_lets():
+        env[let.name] = eval_expr(let.expr, load, params, env)
+    return eval_expr(body.result, load, params, env)
+
+
+def eval_rect(
+    body: KernelBody,
+    load: Callable[[KLoad], np.ndarray],
+    params: Mapping[str, float],
+    shape: tuple[int, ...],
+    dtype,
+    scalar_env: Mapping[str, float] | None = None,
+) -> np.ndarray:
+    """Vectorized body over one domain box.
+
+    ``load`` must return an array of ``shape`` (a strided view is
+    fine).  The result is always a *fresh* array of ``shape``/``dtype``
+    — never a view of an input — so callers may assign it onto an
+    output view that aliases a source grid.
+    """
+    shape = tuple(int(x) for x in shape)
+    env: dict = (
+        dict(scalar_env) if scalar_env is not None
+        else dict(eval_scalar_lets(body, params))
+    )
+    for let in body.inner_lets():
+        env[let.name] = eval_expr(let.expr, load, params, env)
+    val = eval_expr(body.result, load, params, env)
+    if isinstance(val, np.ndarray) and val.shape == shape:
+        return val.astype(dtype, copy=True)
+    return np.full(shape, val, dtype=dtype)

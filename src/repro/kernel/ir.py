@@ -1,0 +1,338 @@
+"""Scalar kernel-expression IR nodes.
+
+A :class:`KernelBody` is the *single* lowered form of one stencil's
+loop body, consumed by every backend: the C emitter renders it into
+C99 let-bindings, the OpenCL/CUDA generators embed it in kernel text,
+and the interpreters evaluate it directly.  Nodes are immutable and
+carry stable ``signature()`` strings (structural identity — the CSE
+pass and the JIT cache key both rely on them).
+
+Arithmetic nodes are **binary** on purpose: the evaluation order of
+every floating-point operation is explicit in the tree, which is what
+lets the compiled backends agree bit-for-bit with the reference
+interpreter (no backend is allowed to reassociate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "KExpr",
+    "KConst",
+    "KParam",
+    "KLoad",
+    "KRef",
+    "KAdd",
+    "KMul",
+    "KDiv",
+    "KFma",
+    "KLet",
+    "KernelBody",
+    "walk",
+    "count_nodes",
+]
+
+
+class KExpr:
+    """Base class for kernel-expression nodes (immutable)."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["KExpr", ...]:
+        return ()
+
+    def signature(self) -> str:
+        raise NotImplementedError
+
+    def __setattr__(self, *a):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is type(self)
+            and other.signature() == self.signature()
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.signature()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.signature()
+
+
+class KConst(KExpr):
+    """A floating-point literal (dtype applied at emission time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        object.__setattr__(self, "value", float(value))
+
+    def signature(self) -> str:
+        return repr(self.value)
+
+
+class KParam(KExpr):
+    """A named scalar parameter supplied at call time."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        object.__setattr__(self, "name", name)
+
+    def signature(self) -> str:
+        return f"p:{self.name}"
+
+
+class KLoad(KExpr):
+    """Scalar load ``grid[scale * i + offset]`` at iteration point ``i``.
+
+    Mirrors :class:`~repro.core.expr.GridRead`'s affine index map; the
+    ``key`` property is the hashable identity the CSE pass dedupes on
+    and the numpy backend keys its precomputed slices by.
+    """
+
+    __slots__ = ("grid", "offset", "scale")
+
+    def __init__(
+        self, grid: str, offset: Sequence[int], scale: Sequence[int]
+    ) -> None:
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(self, "offset", tuple(int(o) for o in offset))
+        object.__setattr__(self, "scale", tuple(int(s) for s in scale))
+        if len(self.offset) != len(self.scale):
+            raise ValueError("offset/scale dimensionality mismatch")
+
+    @property
+    def key(self) -> tuple:
+        return (self.grid, self.offset, self.scale)
+
+    def signature(self) -> str:
+        if all(s == 1 for s in self.scale):
+            return f"{self.grid}@{list(self.offset)}"
+        return f"{self.grid}@{list(self.scale)}*i+{list(self.offset)}"
+
+
+class KRef(KExpr):
+    """Reference to a let-binding of the enclosing :class:`KernelBody`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        object.__setattr__(self, "name", name)
+
+    def signature(self) -> str:
+        return f"&{self.name}"
+
+
+class _KBin(KExpr):
+    __slots__ = ("lhs", "rhs")
+    _OP = "?"
+
+    def __init__(self, lhs: KExpr, rhs: KExpr) -> None:
+        if not isinstance(lhs, KExpr) or not isinstance(rhs, KExpr):
+            raise TypeError("operands must be KExpr")
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", rhs)
+
+    def children(self) -> tuple[KExpr, ...]:
+        return (self.lhs, self.rhs)
+
+    def signature(self) -> str:
+        return (
+            f"({self.lhs.signature()} {self._OP} {self.rhs.signature()})"
+        )
+
+
+class KAdd(_KBin):
+    """``lhs + rhs``."""
+
+    __slots__ = ()
+    _OP = "+"
+
+
+class KMul(_KBin):
+    """``lhs * rhs``."""
+
+    __slots__ = ()
+    _OP = "*"
+
+
+class KDiv(_KBin):
+    """``lhs / rhs``."""
+
+    __slots__ = ()
+    _OP = "/"
+
+
+class KFma(KExpr):
+    """``a * b + c`` as one node — *structural* grouping only.
+
+    Backends emit the multiply and the add as two separately-rounded
+    IEEE operations (never a hardware fused multiply-add), so grouping
+    is bitwise-neutral; it exists to expose the accumulation chains a
+    vectorizing compiler turns into FMA instructions.
+    """
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a: KExpr, b: KExpr, c: KExpr) -> None:
+        for x in (a, b, c):
+            if not isinstance(x, KExpr):
+                raise TypeError("operands must be KExpr")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+
+    def children(self) -> tuple[KExpr, ...]:
+        return (self.a, self.b, self.c)
+
+    def signature(self) -> str:
+        return (
+            f"fma({self.a.signature()},{self.b.signature()},"
+            f"{self.c.signature()})"
+        )
+
+
+class KLet(KExpr):
+    """One named binding: ``name = expr``, invariant at loop ``depth``.
+
+    ``depth`` is the loop depth whose body must (re)compute the value:
+    ``0`` means invariant across the whole nest — params and constants
+    only, hoisted to the kernel prelude and evaluated once per sweep —
+    while ``ndim`` means the value depends on the full iteration point
+    (any binding containing a grid load) and lives in the innermost
+    loop body.
+    """
+
+    __slots__ = ("name", "expr", "depth")
+
+    def __init__(self, name: str, expr: KExpr, depth: int) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "depth", int(depth))
+
+    def children(self) -> tuple[KExpr, ...]:
+        return (self.expr,)
+
+    def signature(self) -> str:
+        return f"let {self.name}@{self.depth} = {self.expr.signature()}"
+
+
+class KernelBody:
+    """Let-bindings plus a result expression — one stencil's loop body.
+
+    Bindings are in dependency order (a binding may reference earlier
+    bindings only); backends evaluate/emit them in sequence and store
+    ``result`` to the output grid.
+    """
+
+    __slots__ = ("ndim", "lets", "result")
+
+    def __init__(
+        self, ndim: int, lets: Sequence[KLet], result: KExpr
+    ) -> None:
+        object.__setattr__(self, "ndim", int(ndim))
+        object.__setattr__(self, "lets", tuple(lets))
+        object.__setattr__(self, "result", result)
+        seen: set[str] = set()
+        for let in self.lets:
+            for node in walk(let.expr):
+                if isinstance(node, KRef) and node.name not in seen:
+                    raise ValueError(
+                        f"binding {let.name!r} references {node.name!r} "
+                        "before it is bound"
+                    )
+            if let.name in seen:
+                raise ValueError(f"duplicate binding {let.name!r}")
+            seen.add(let.name)
+
+    def __setattr__(self, *a):
+        raise AttributeError("KernelBody is immutable")
+
+    # -- queries -------------------------------------------------------------
+
+    def exprs(self) -> Iterator[KExpr]:
+        """The bound expressions followed by the result."""
+        for let in self.lets:
+            yield let.expr
+        yield self.result
+
+    def scalar_lets(self) -> tuple[KLet, ...]:
+        """Bindings hoisted out of the loop nest (depth 0)."""
+        return tuple(l for l in self.lets if l.depth == 0)
+
+    def inner_lets(self) -> tuple[KLet, ...]:
+        """Bindings evaluated per iteration point (depth > 0)."""
+        return tuple(l for l in self.lets if l.depth > 0)
+
+    def loads(self) -> list[KLoad]:
+        """Distinct loads, in first-occurrence order."""
+        seen: dict[tuple, KLoad] = {}
+        for e in self.exprs():
+            for node in walk(e):
+                if isinstance(node, KLoad) and node.key not in seen:
+                    seen[node.key] = node
+        return list(seen.values())
+
+    def load_count(self) -> int:
+        """Total load *occurrences* (each emitted load counted once)."""
+        return sum(
+            1
+            for e in self.exprs()
+            for node in walk(e)
+            if isinstance(node, KLoad)
+        )
+
+    def grids(self) -> set[str]:
+        return {l.grid for l in self.loads()}
+
+    def params(self) -> set[str]:
+        return {
+            n.name
+            for e in self.exprs()
+            for n in walk(e)
+            if isinstance(n, KParam)
+        }
+
+    def node_count(self) -> int:
+        return sum(count_nodes(e) for e in self.exprs())
+
+    def signature(self) -> str:
+        bits = [l.signature() for l in self.lets]
+        bits.append(f"-> {self.result.signature()}")
+        return f"K{self.ndim}d[" + "; ".join(bits) + "]"
+
+    def map_exprs(self, fn: Callable[[KExpr], KExpr]) -> "KernelBody":
+        """Rebuild with ``fn`` applied to every binding and the result."""
+        return KernelBody(
+            self.ndim,
+            [KLet(l.name, fn(l.expr), l.depth) for l in self.lets],
+            fn(self.result),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, KernelBody)
+            and other.signature() == self.signature()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.signature()
+
+
+def walk(expr: KExpr) -> Iterator[KExpr]:
+    """Pre-order traversal."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def count_nodes(expr: KExpr) -> int:
+    return sum(1 for _ in walk(expr))

@@ -1,0 +1,80 @@
+"""Lower :class:`~repro.core.flatten.FlatStencil` to a raw kernel body.
+
+This is the **single** lowering point: every backend obtains its loop
+body through :func:`body_for` (cached per stencil instance), so the
+scalar expression is lowered — and, when enabled, optimized — exactly
+once no matter how many backends compile the stencil.
+
+The raw lowering is bit-compatible with the historical term-by-term
+emission used by every backend before the kernel IR existed:
+
+* each term multiplies left-associatively
+  ``((coeff * p1) * p2) / d1 / d2 * r1 * r2``
+  (numerator params in sorted order, then denominator divisions, then
+  grid-read factors in signature order — exactly the legacy C text and
+  the legacy interpreter loop);
+* terms are summed fold-left in flat order, with no leading zero
+  (matching the C emitter; the old interpreter's ``0.0 + t1`` prefix
+  differed only on −0.0 edge cases);
+* an empty body lowers to ``0.0``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.flatten import FlatStencil, FlatTerm
+from .ir import KAdd, KConst, KDiv, KExpr, KLoad, KMul, KParam, KernelBody
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.stencil import Stencil
+
+__all__ = ["lower_flat", "lower_term", "body_for"]
+
+
+def lower_term(term: FlatTerm) -> KExpr:
+    """One flat term as a left-associative scalar expression."""
+    expr: KExpr = KConst(term.coeff)
+    for p in term.params:
+        expr = KMul(expr, KParam(p))
+    for p in term.denom_params:
+        expr = KDiv(expr, KParam(p))
+    for read in term.reads:
+        expr = KMul(expr, KLoad(read.grid, read.offset, read.scale))
+    return expr
+
+
+def lower_flat(flat: FlatStencil) -> KernelBody:
+    """Lower the canonical flat form to a raw (un-optimized) body."""
+    if not flat.terms:
+        return KernelBody(flat.ndim, (), KConst(0.0))
+    expr = lower_term(flat.terms[0])
+    for term in flat.terms[1:]:
+        expr = KAdd(expr, lower_term(term))
+    return KernelBody(flat.ndim, (), expr)
+
+
+def body_for(stencil: "Stencil", optimize: bool | None = None):
+    """``(KernelBody, OptReport | None)`` for ``stencil``, cached.
+
+    ``optimize=None`` consults the package-level toggle
+    (:func:`repro.kernel.optimization_enabled`).  Both variants are
+    cached on the stencil instance, so repeated compiles — and the six
+    backends — all share one lowering.  The raw variant carries no
+    report.
+    """
+    if optimize is None:
+        from . import optimization_enabled
+
+        optimize = optimization_enabled()
+    cache = stencil.__dict__.setdefault("_kernel_bodies", {})
+    key = bool(optimize)
+    if key not in cache:
+        raw = lower_flat(stencil.flat)
+        if key:
+            from .optimize import optimize_kernel
+
+            cache[key] = optimize_kernel(raw)
+        else:
+            cache[key] = (raw, None)
+    return cache[key]

@@ -38,17 +38,18 @@ _WORD = 8.0  # double precision
 def bytes_per_point(stencil: Stencil, *, write_allocate: bool = True) -> float:
     """Analytic compulsory traffic per updated point.
 
-    Counts each *distinct grid* read once (perfect reuse of neighbouring
-    loads within a sweep — the asymptotic assumption of SectionV-B),
-    plus the store; a write-allocate cache first reads the written line
-    unless the sweep already read that grid.
+    Delegates to the kernel-IR cost model
+    (:func:`repro.kernel.kernel_cost`): each *distinct grid* read costs
+    one word (perfect reuse of neighbouring loads within a sweep — the
+    asymptotic assumption of SectionV-B), plus the store; a
+    write-allocate cache first reads the written line unless the sweep
+    already read that grid.
     """
-    read_grids = stencil.flat.grids()
-    traffic = _WORD * len(read_grids)
-    traffic += _WORD  # the store itself
-    if write_allocate and stencil.output not in read_grids:
-        traffic += _WORD  # write-allocate fill
-    return traffic
+    from ..kernel import kernel_cost  # local import: machine <- kernel
+
+    return kernel_cost(
+        stencil, write_allocate=write_allocate
+    ).bytes_per_point
 
 
 def roofline_stencils_per_s(

@@ -1,0 +1,98 @@
+"""The IR interpreters: per-point, scalar prelude, vectorized per-rect."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.eval import (
+    eval_expr,
+    eval_point,
+    eval_rect,
+    eval_scalar_lets,
+)
+from repro.kernel.ir import (
+    KAdd,
+    KConst,
+    KDiv,
+    KFma,
+    KLet,
+    KLoad,
+    KMul,
+    KParam,
+    KRef,
+    KernelBody,
+)
+
+
+def _load(grid="u", offset=(0, 0)):
+    return KLoad(grid, offset, (1, 1))
+
+
+def test_eval_expr_arithmetic():
+    env = {}
+    params = {"w": 2.0}
+    load = lambda ld: 3.0  # noqa: E731
+    e = KAdd(KMul(KConst(2.0), _load()), KDiv(KParam("w"), KConst(4.0)))
+    assert eval_expr(e, load, params, env) == 2.0 * 3.0 + 2.0 / 4.0
+
+
+def test_eval_fma_is_two_rounded_ops():
+    # KFma must evaluate as round(round(a*b) + c), never a fused op
+    a, b, c = 1e16 + 1.0, 1e16 - 1.0, -1e32
+    e = KFma(KConst(a), KConst(b), KConst(c))
+    got = eval_expr(e, lambda ld: 0.0, {}, {})
+    assert got == a * b + c  # python's a*b+c is two rounded ops
+
+
+def test_eval_scalar_lets_and_point():
+    body = KernelBody(
+        2,
+        [
+            KLet("s0", KMul(KParam("w"), KConst(0.5)), 0),
+            KLet("t0", KMul(KRef("s0"), _load()), 2),
+        ],
+        KAdd(KRef("t0"), KConst(1.0)),
+    )
+    params = {"w": 4.0}
+    env = eval_scalar_lets(body, params)
+    assert env == {"s0": 2.0}
+    got = eval_point(body, lambda ld: 10.0, params, env)
+    assert got == 2.0 * 10.0 + 1.0
+    # scalar_env is optional — eval_point recomputes when omitted
+    assert eval_point(body, lambda ld: 10.0, params) == got
+
+
+def test_eval_rect_vectorizes_like_eval_point():
+    rng = np.random.default_rng(0)
+    u = rng.random((4, 4))
+    body = KernelBody(
+        2,
+        [KLet("t0", KMul(KConst(2.0), _load()), 2)],
+        KAdd(KRef("t0"), KParam("w")),
+    )
+    params = {"w": 0.25}
+    got = eval_rect(body, lambda ld: u, params, u.shape, u.dtype)
+    np.testing.assert_array_equal(got, 2.0 * u + 0.25)
+
+
+def test_eval_rect_always_returns_fresh_array():
+    """A body that folds to a bare load must not alias the source —
+    the caller assigns the result onto a view of the same grid."""
+    u = np.arange(9.0).reshape(3, 3)
+    body = KernelBody(2, [], _load())
+    got = eval_rect(body, lambda ld: u, {}, u.shape, u.dtype)
+    assert got.base is not u and got is not u
+    got[0, 0] = -1.0
+    assert u[0, 0] == 0.0
+
+
+def test_eval_rect_broadcasts_scalar_result():
+    body = KernelBody(2, [], KConst(7.0))
+    got = eval_rect(body, lambda ld: None, {}, (2, 3), np.float64)
+    assert got.shape == (2, 3)
+    np.testing.assert_array_equal(got, np.full((2, 3), 7.0))
+
+
+def test_eval_point_missing_param_raises():
+    body = KernelBody(2, [], KParam("missing"))
+    with pytest.raises(KeyError):
+        eval_point(body, lambda ld: 0.0, {})

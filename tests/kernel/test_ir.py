@@ -1,0 +1,136 @@
+"""Unit tests for the kernel IR node classes and KernelBody invariants."""
+
+import pytest
+
+from repro.kernel.ir import (
+    KAdd,
+    KConst,
+    KDiv,
+    KFma,
+    KLet,
+    KLoad,
+    KMul,
+    KParam,
+    KRef,
+    KernelBody,
+    count_nodes,
+    walk,
+)
+
+
+def _load(grid="u", offset=(0, 0), scale=(1, 1)):
+    return KLoad(grid, offset, scale)
+
+
+def test_nodes_are_immutable():
+    c = KConst(2.0)
+    with pytest.raises(AttributeError):
+        c.value = 3.0
+    with pytest.raises(AttributeError):
+        _load().grid = "v"
+
+
+def test_signature_equality_and_hash():
+    a = KMul(KConst(2.0), _load())
+    b = KMul(KConst(2.0), _load())
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != KMul(_load(), KConst(2.0))  # order matters
+    assert KParam("w") != KRef("w")  # param and ref never unify
+    assert KConst(1.0) != KConst(1.5)
+
+
+def test_load_key_identifies_the_access():
+    l1 = _load("u", (1, 0))
+    l2 = _load("u", (1, 0))
+    l3 = _load("u", (0, 1))
+    assert l1.key == l2.key
+    assert l1.key != l3.key
+    assert l1 == l2 and l1 != l3
+
+
+def test_fma_is_structural():
+    f = KFma(KConst(2.0), _load(), KParam("w"))
+    assert f.children() == (KConst(2.0), _load(), KParam("w"))
+    # signature distinguishes fma from the equivalent add-of-mul
+    assert f != KAdd(KMul(KConst(2.0), _load()), KParam("w"))
+
+
+def test_walk_is_preorder_and_count_nodes_counts():
+    e = KAdd(KMul(KConst(2.0), _load()), KParam("w"))
+    seen = list(walk(e))
+    assert seen[0] is e
+    assert count_nodes(e) == 5
+    assert len(seen) == 5
+
+
+def test_body_validates_ref_before_bind():
+    with pytest.raises(ValueError):
+        KernelBody(
+            2,
+            [KLet("a", KRef("b"), 0), KLet("b", KConst(1.0), 0)],
+            KRef("a"),
+        )
+
+
+def test_body_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        KernelBody(
+            2,
+            [KLet("a", KConst(1.0), 0), KLet("a", KConst(2.0), 0)],
+            KRef("a"),
+        )
+
+
+def test_body_queries():
+    lets = [
+        KLet("s0", KMul(KParam("w"), KConst(0.5)), 0),
+        KLet("t0", KMul(KRef("s0"), _load("u", (1, 0))), 2),
+    ]
+    body = KernelBody(2, lets, KAdd(KRef("t0"), _load("v")))
+    assert [l.name for l in body.scalar_lets()] == ["s0"]
+    assert [l.name for l in body.inner_lets()] == ["t0"]
+    assert body.grids() == {"u", "v"}
+    assert body.params() == {"w"}
+    # distinct loads in first-occurrence order
+    assert [ld.grid for ld in body.loads()] == ["u", "v"]
+    assert body.load_count() == 2
+    assert body.node_count() == sum(
+        count_nodes(e) for e in body.exprs()
+    )
+
+
+def test_body_loads_deduplicates_repeats():
+    twice = KAdd(_load("u", (0, 1)), _load("u", (0, 1)))
+    body = KernelBody(2, [], twice)
+    # loads() is distinct accesses; load_count() is emitted occurrences
+    assert len(body.loads()) == 1
+    assert body.load_count() == 2
+
+
+def test_map_exprs_rebuilds_consistently():
+    body = KernelBody(
+        2,
+        [KLet("t0", KMul(KConst(1.0), _load()), 2)],
+        KRef("t0"),
+    )
+
+    def drop_one_mul(e):
+        if isinstance(e, KMul) and e.lhs == KConst(1.0):
+            return e.rhs
+        return e
+
+    mapped = body.map_exprs(
+        lambda root: _map_bottom_up(root, drop_one_mul)
+    )
+    assert mapped.lets[0].expr == _load()
+    assert mapped.result == KRef("t0")
+
+
+def _map_bottom_up(e, fn):
+    kids = [_map_bottom_up(k, fn) for k in e.children()]
+    if isinstance(e, (KAdd, KMul, KDiv)):
+        e = type(e)(*kids)
+    elif isinstance(e, KFma):
+        e = KFma(*kids)
+    return fn(e)
