@@ -20,6 +20,15 @@ against the failures real fabrics produce.  ``barrier(strict=True)``
 (or ``world(..., strict_barriers=True)``) turns a barrier into a
 protocol audit: any message still undelivered raises :class:`CommError`
 instead of being silently counted.
+
+Rank failure is modelled too: :meth:`kill` marks a rank dead (the
+``comm.rank.crash`` fault site does this mid-sweep in the distributed
+executor).  A dead rank's sends are discarded, and receiving from a
+dead rank with nothing in flight raises :class:`RankFailure` — the
+in-process stand-in for the recv-timeout/ack-loss detection a real
+fabric would use — instead of the provable-deadlock :class:`CommError`,
+so callers can distinguish "peer died" (recoverable by
+:mod:`repro.dmem.recovery`) from "protocol bug" (never recoverable).
 """
 
 from __future__ import annotations
@@ -32,11 +41,28 @@ import numpy as np
 from .. import telemetry
 from ..resilience.faults import fault_point
 
-__all__ = ["CommError", "SimComm"]
+__all__ = ["CommError", "RankFailure", "SimComm"]
 
 
 class CommError(RuntimeError):
     """Protocol violation: missing message, bad rank, type mismatch."""
+
+
+class RankFailure(RuntimeError):
+    """A peer rank has crashed (detected via recv timeout / ack loss).
+
+    Carries the dead rank in ``.rank``.  Unlike :class:`CommError`
+    (a protocol bug that no amount of retrying fixes), a
+    ``RankFailure`` is the signal the checkpoint/restart layer
+    (:mod:`repro.dmem.recovery`) recovers from.
+    """
+
+    def __init__(self, rank: int, detail: str = "") -> None:
+        self.rank = rank
+        super().__init__(
+            f"rank {rank} has failed"
+            + (f": {detail}" if detail else "")
+        )
 
 
 @dataclass
@@ -46,6 +72,20 @@ class _Stats:
     barriers: int = 0
     dropped: int = 0  # messages lost to injected send/recv drops
     corrupted: int = 0  # payloads bit-flipped by injected corruption
+    retransmits: int = 0  # reliable-transport re-sends of lost envelopes
+    duplicates: int = 0  # duplicate envelopes discarded by dedup
+    reordered: int = 0  # envelopes delivered out of sequence order
+    acked: int = 0  # envelopes confirmed delivered exactly once
+    crc_failures: int = 0  # envelopes rejected by transport CRC
+    crashes: int = 0  # ranks killed (comm.rank.crash or kill())
+    restores: int = 0  # checkpoint restores performed by recovery
+    barrier_failures: int = 0  # strict-barrier audits that found pending msgs
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in _STATS_FIELDS}
+
+
+_STATS_FIELDS = _Stats.__dataclass_fields__.values()
 
 
 class _Fabric:
@@ -56,6 +96,7 @@ class _Fabric:
         self.strict_barriers = strict_barriers
         self.boxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
         self.stats = _Stats()
+        self.dead: set[int] = set()
 
 
 class SimComm:
@@ -97,10 +138,19 @@ class SimComm:
         return self._fabric.size
 
     def send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
-        """Copy-out send (the wire owns its bytes, as with real MPI)."""
+        """Copy-out send (the wire owns its bytes, as with real MPI).
+
+        Sends addressed to a dead rank vanish into the void, exactly as
+        on a real fabric — the sender cannot tell a dead peer from a
+        slow one until it waits for a reply.
+        """
         self._check_rank(dest)
         if dest == self._rank:
             raise CommError("self-send is always a protocol bug here")
+        if dest in self._fabric.dead:
+            self._fabric.stats.dropped += 1
+            telemetry.count("dmem.dropped")
+            return
         arr = np.array(data, copy=True)
         if fault_point("comm.send.drop"):
             self._fabric.stats.dropped += 1
@@ -129,6 +179,12 @@ class SimComm:
             self._fabric.stats.dropped += 1  # how the loss surfaces
             telemetry.count("dmem.dropped")
         if not box:
+            if source in self._fabric.dead:
+                raise RankFailure(
+                    source,
+                    f"rank {self._rank} recv(source={source}, tag={tag}) "
+                    "timed out — peer is dead and nothing is in flight",
+                )
             raise CommError(
                 f"rank {self._rank} recv(source={source}, tag={tag}): "
                 "no matching message — in a real run this rank would "
@@ -173,6 +229,8 @@ class SimComm:
                 if box
             }
             if pending:
+                self._fabric.stats.barrier_failures += 1
+                telemetry.count("dmem.barrier_failures")
                 detail = ", ".join(
                     f"src={s}->dest={d} tag={t}: {n} msg(s)"
                     for (s, d, t), n in sorted(pending.items())
@@ -183,14 +241,54 @@ class SimComm:
                     "protocol"
                 )
 
+    # -- rank liveness ---------------------------------------------------------
+
+    def kill(self, rank: int) -> None:
+        """Mark ``rank`` dead fabric-wide (the crash model)."""
+        self._check_rank(rank)
+        if rank not in self._fabric.dead:
+            self._fabric.dead.add(rank)
+            self._fabric.stats.crashes += 1
+            telemetry.count("dmem.crashes")
+            telemetry.tracing.instant(
+                "rank.crash", cat="dmem", lane=f"rank {rank}",
+            )
+
+    def revive(self, rank: int) -> None:
+        """Bring a dead rank back (a restart under recovery)."""
+        self._check_rank(rank)
+        self._fabric.dead.discard(rank)
+
+    def alive(self, rank: int) -> bool:
+        self._check_rank(rank)
+        return rank not in self._fabric.dead
+
+    def dead_ranks(self) -> frozenset[int]:
+        return frozenset(self._fabric.dead)
+
     # -- accounting -----------------------------------------------------------
 
     @property
     def stats(self) -> _Stats:
         return self._fabric.stats
 
+    def probe(self, source: int, tag: int = 0) -> int:
+        """How many messages are waiting on ``(source, self, tag)``
+        (the ``MPI_Iprobe`` analogue the reliable transport drains with)."""
+        self._check_rank(source)
+        box = self._fabric.boxes.get((source, self._rank, tag))
+        return len(box) if box else 0
+
     def pending_messages(self) -> int:
         return sum(len(b) for b in self._fabric.boxes.values())
+
+    def purge(self) -> int:
+        """Discard every undelivered message fabric-wide; returns the
+        count.  Used by recovery: a rollback invalidates in-flight
+        traffic from the abandoned timeline."""
+        n = sum(len(b) for b in self._fabric.boxes.values())
+        self._fabric.boxes.clear()
+        return n
 
     # -- internals -------------------------------------------------------------
 

@@ -11,10 +11,22 @@ of a solver's work) and runs it SPMD-style across ``nranks``:
    same arithmetic the dependence analysis uses), so colored and pinned
    domains decompose correctly, not just dense interiors;
 3. before every stencil that reads beyond owned rows, neighbouring
-   ranks swap halo rows through :class:`~repro.dmem.comm.SimComm`;
+   ranks swap halo rows — by default through the exactly-once
+   :class:`~repro.dmem.transport.ReliableComm` layer, which sequences,
+   CRC-verifies, dedups, reorders, and retransmits over the lossy
+   :class:`~repro.dmem.comm.SimComm` wire (``transport="raw"`` keeps
+   the legacy unguarded exchange for experiments on the bare fabric);
 4. each rank executes its sub-stencil through any shared-memory
    micro-compiler (``c`` by default) — the distributed layer composes
    with, rather than replaces, the single-node backends.
+
+Failure model: the ``comm.rank.crash`` fault site kills a rank
+mid-sweep; surviving neighbours detect it as a typed
+:class:`~repro.dmem.comm.RankFailure` at the next exchange (or the
+end-of-sweep liveness audit).  Passing
+``run(times, recovery=RecoveryPolicy(...))`` arms checkpoint/restart
+(:mod:`repro.dmem.recovery`): the sweep replays from the last verified
+snapshot and the final answer is bitwise-identical to a fault-free run.
 
 Restrictions (validated eagerly): identity output maps, unit read
 scale along dim 0, one common grid shape.  Inter-grid transfer
@@ -31,9 +43,12 @@ from .. import telemetry
 from ..core.domains import RectDomain, ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import check_group
+from ..resilience.faults import fault_point
 from ..resilience.guards import Guards, halo_crc
-from .comm import SimComm
+from .comm import RankFailure, SimComm
 from .decompose import BlockDecomposition
+from .recovery import RecoveryManager, RecoveryPolicy
+from .transport import ReliableComm
 
 __all__ = ["DistributedKernel"]
 
@@ -87,14 +102,22 @@ class DistributedKernel:
         dtype=np.float64,
         fallback: Sequence[str] | None = None,
         guards: Guards | None = None,
+        transport: str = "reliable",
+        transport_retries: int = 4,
         **backend_options,
     ) -> None:
+        if transport not in ("reliable", "raw"):
+            raise ValueError(
+                f"transport must be 'reliable' or 'raw', got {transport!r}"
+            )
         self.group = group
         self.global_shape = tuple(int(x) for x in global_shape)
         self.dtype = np.dtype(dtype)
         self.backend = backend
         self.fallback = tuple(fallback) if fallback else None
         self.guards = guards if guards is not None else Guards.from_env()
+        self.transport_mode = transport
+        self.transport_retries = int(transport_retries)
         self.backend_options = dict(backend_options)
 
         self._validate_decomposable()
@@ -124,6 +147,10 @@ class DistributedKernel:
                     f"than the halo width {halo}; use fewer ranks"
                 )
         self.comms = SimComm.world(nranks)
+        self.transport = ReliableComm.attach(
+            self.comms, guards=self.guards,
+            max_retries=self.transport_retries,
+        )
 
         # Per-rank, per-stencil sub-stencils + compiled kernels.
         self._kernels: list[list[tuple[Stencil, object] | None]] = []
@@ -185,13 +212,57 @@ class DistributedKernel:
     def _exchange(self, locals_: list[dict[str, np.ndarray]], grid: str, width: int) -> None:
         """Swap ``width`` boundary rows of ``grid`` between neighbours.
 
-        With the ``halo_checksum`` guard enabled, every payload travels
-        with a CRC32 computed *before* the send — in-flight corruption
-        (the ``comm.payload.corrupt`` fault) is caught on receipt.
+        The default (``transport="reliable"``) path sends every payload
+        as a sequenced, CRC-fingerprinted envelope: injected drops,
+        duplicates, reordering, and corruption are all healed before the
+        block lands in the halo, and a dead neighbour surfaces as a
+        typed :class:`RankFailure`.  The ``"raw"`` path is the legacy
+        bare-wire exchange where only the ``halo_checksum`` guard's
+        explicit CRC companion messages stand between corruption and a
+        wrong answer.
         """
+        if self.transport_mode == "raw":
+            return self._exchange_raw(locals_, grid, width)
+        size = self.decomp.size
+        alive = self.comms[0].alive
+        # enqueue all sends first (lock-step driver: no ordering hazards)
+        for s in self.decomp.slabs:
+            if not alive(s.rank):
+                continue  # a dead rank sends nothing; neighbours notice
+            telemetry.tracing.instant(
+                "halo.send", cat="dmem", lane=f"rank {s.rank}",
+                grid=grid, width=width,
+            )
+            arr = locals_[s.rank][grid]
+            rc = self.transport[s.rank]
+            if s.rank > 0:
+                lo = s.local_own_lo
+                rc.rsend(arr[lo : lo + width], s.rank - 1, _TAG_UP)
+            if s.rank < size - 1:
+                hi = s.local_own_hi
+                rc.rsend(arr[hi - width : hi], s.rank + 1, _TAG_DOWN)
+        for s in self.decomp.slabs:
+            if not alive(s.rank):
+                continue
+            arr = locals_[s.rank][grid]
+            rc = self.transport[s.rank]
+            if s.rank < size - 1:
+                block = rc.rrecv(s.rank + 1, _TAG_UP)
+                hi = s.local_own_hi
+                arr[hi : hi + width] = block
+            if s.rank > 0:
+                block = rc.rrecv(s.rank - 1, _TAG_DOWN)
+                lo = s.local_own_lo
+                arr[lo - width : lo] = block
+
+    def _exchange_raw(
+        self, locals_: list[dict[str, np.ndarray]], grid: str, width: int
+    ) -> None:
+        """Legacy bare-wire exchange (``transport="raw"``): payloads ride
+        :class:`SimComm` directly, with the ``halo_checksum`` guard's
+        CRC travelling as a companion message when enabled."""
         size = self.decomp.size
         checked = self.guards.halo_checksum != "off"
-        # enqueue all sends first (lock-step driver: no ordering hazards)
         for s in self.decomp.slabs:
             telemetry.tracing.instant(
                 "halo.send", cat="dmem", lane=f"rank {s.rank}",
@@ -270,31 +341,70 @@ class DistributedKernel:
             for r in range(self.decomp.size)
         ]
 
-    def run(self, times: int = 1) -> None:
-        """Apply the group ``times`` times to the rank-resident state."""
+    def run(
+        self, times: int = 1, recovery: RecoveryPolicy | None = None
+    ) -> None:
+        """Apply the group ``times`` times to the rank-resident state.
+
+        With a :class:`RecoveryPolicy`, the sweeps run under
+        checkpoint/restart: a rank crash (``comm.rank.crash``) is
+        detected as a :class:`RankFailure`, the dead rank restarts, and
+        the run replays from the last verified snapshot — the final
+        state is bitwise-identical to a fault-free run.  Without one, a
+        crash propagates as the typed :class:`RankFailure` (never a
+        misleading deadlock :class:`CommError`).
+        """
         locals_ = getattr(self, "_locals", None)
         if locals_ is None:
             raise RuntimeError("call scatter(...) before run()")
-        telemetry.count("dmem.sweeps", times)
-        for _ in range(times):
-            for si in range(len(self.group)):
-                for g, w in self.read_halos[si].items():
-                    with telemetry.tracing.span(
-                        f"halo:{g}", cat="dmem",
-                        width=w, ranks=self.decomp.size,
-                    ), telemetry.timed("dmem.exchange"):
-                        self._exchange(locals_, g, w)
-                    telemetry.count("dmem.exchanges")
-                for r in range(self.decomp.size):
-                    entry = self._kernels[r][si]
-                    if entry is None:
-                        continue
-                    local, kernel = entry
-                    with telemetry.tracing.span(
-                        f"apply:{local.name}", cat="dmem",
-                        lane=f"rank {r}",
-                    ):
-                        kernel(**{g: locals_[r][g] for g in local.grids()})
+        if recovery is None:
+            for _ in range(times):
+                self._sweep(locals_)
+            return
+        RecoveryManager(self, recovery).run(times)
+
+    def _sweep(self, locals_: list[dict[str, np.ndarray]]) -> None:
+        """One application of the whole group, with crash detection.
+
+        The ``comm.rank.crash`` fault site is probed once per (rank,
+        stencil): a firing kills that rank mid-sweep.  Survivors notice
+        at their next halo exchange (recv from a dead peer), or at
+        latest in the end-of-sweep liveness audit — either way the
+        sweep raises :class:`RankFailure` instead of completing with a
+        silently missing contribution.
+        """
+        telemetry.count("dmem.sweeps")
+        alive = self.comms[0].alive
+        for si in range(len(self.group)):
+            for g, w in self.read_halos[si].items():
+                with telemetry.tracing.span(
+                    f"halo:{g}", cat="dmem",
+                    width=w, ranks=self.decomp.size,
+                ), telemetry.timed("dmem.exchange"):
+                    self._exchange(locals_, g, w)
+                telemetry.count("dmem.exchanges")
+            for r in range(self.decomp.size):
+                if not alive(r):
+                    continue
+                if fault_point("comm.rank.crash"):
+                    self.comms[r].kill(r)
+                    continue
+                entry = self._kernels[r][si]
+                if entry is None:
+                    continue
+                local, kernel = entry
+                with telemetry.tracing.span(
+                    f"apply:{local.name}", cat="dmem",
+                    lane=f"rank {r}",
+                ):
+                    kernel(**{g: locals_[r][g] for g in local.grids()})
+        dead = self.comms[0].dead_ranks()
+        if dead:
+            raise RankFailure(
+                min(dead),
+                f"{len(dead)} rank(s) died during the sweep: "
+                f"{sorted(dead)}",
+            )
 
     def gather(self, **global_arrays: np.ndarray) -> None:
         """Write every output grid's owned rows back into global arrays."""
@@ -312,8 +422,67 @@ class DistributedKernel:
 
     @property
     def comm_stats(self):
-        """Fabric-wide traffic counters (messages, bytes, barriers)."""
+        """Fabric-wide traffic + resilience counters (messages, bytes,
+        barriers, retransmits, duplicates, crashes, restores, ...)."""
         return self.comms[0].stats
+
+    def describe_dict(self) -> dict:
+        """Machine-readable resilience/decomposition summary (the
+        ``explain --dmem`` surface)."""
+        return {
+            "ranks": self.decomp.size,
+            "global_shape": list(self.global_shape),
+            "halo": self.halo,
+            "rows_per_rank": [
+                s.own_hi - s.own_lo for s in self.decomp.slabs
+            ],
+            "read_halos": [dict(h) for h in self.read_halos],
+            "backend": self.backend,
+            "serving_backends": sorted(self.serving_backends),
+            "transport": {
+                "mode": self.transport_mode,
+                "max_retries": self.transport_retries,
+                "delivery": (
+                    "exactly-once (seq + CRC + ack/retransmit)"
+                    if self.transport_mode == "reliable"
+                    else "best-effort (bare wire)"
+                ),
+            },
+            "guards": {
+                "nonfinite": self.guards.nonfinite,
+                "invariants": self.guards.invariants,
+                "halo_checksum": self.guards.halo_checksum,
+            },
+            "comm_stats": self.comm_stats.as_dict(),
+            "dead_ranks": sorted(self.comms[0].dead_ranks()),
+        }
+
+    def describe(self) -> str:
+        """Human-readable form of :meth:`describe_dict`."""
+        d = self.describe_dict()
+        lines = [
+            f"distributed kernel: {d['ranks']} rank(s) over "
+            f"{tuple(d['global_shape'])}, halo {d['halo']}",
+            f"  rows/rank: {d['rows_per_rank']}",
+            f"  backend: {d['backend']} "
+            f"(serving: {', '.join(d['serving_backends'])})",
+            f"  transport: {d['transport']['mode']} — "
+            f"{d['transport']['delivery']}, "
+            f"retry budget {d['transport']['max_retries']}",
+            "  guards: " + ", ".join(
+                f"{k}={v}" for k, v in d["guards"].items()
+            ),
+        ]
+        stats = {k: v for k, v in d["comm_stats"].items() if v}
+        lines.append(
+            "  comm stats: " + (
+                ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+                if stats else "(no traffic yet)"
+            )
+        )
+        if d["dead_ranks"]:
+            lines.append(f"  DEAD RANKS: {d['dead_ranks']}")
+        return "\n".join(lines)
 
     @property
     def serving_backends(self) -> set[str]:

@@ -12,6 +12,13 @@ Reuses :class:`~repro.dmem.comm.SimComm` (one fabric, ranks numbered
 row-major) and the exact lattice-restriction arithmetic of the 1-D
 executor, applied per decomposed dimension — colored domains partition
 correctly across both axes.
+
+Halo traffic rides the same exactly-once
+:class:`~repro.dmem.transport.ReliableComm` layer as the 1-D executor
+(sequence numbers, per-envelope CRC, dedup/reorder/retransmit), so the
+2-D executor has full halo-checksum guard parity: with the
+``halo_checksum`` guard armed, in-flight corruption is reported per the
+guard severity; with it off, the transport heals the wire silently.
 """
 
 from __future__ import annotations
@@ -24,8 +31,10 @@ from .. import telemetry
 from ..core.domains import RectDomain, ResolvedRect
 from ..core.stencil import Stencil, StencilGroup
 from ..core.validate import check_group
+from ..resilience.guards import Guards, halo_crc
 from .comm import SimComm
 from .decompose import BlockDecomposition
+from .transport import ReliableComm
 
 __all__ = ["DistributedKernel2D"]
 
@@ -60,6 +69,8 @@ class DistributedKernel2D:
         *,
         backend: str = "c",
         dtype=np.float64,
+        guards: Guards | None = None,
+        transport_retries: int = 4,
         **backend_options,
     ) -> None:
         if len(global_shape) < 2:
@@ -69,6 +80,7 @@ class DistributedKernel2D:
         self.p0, self.p1 = int(grid[0]), int(grid[1])
         self.dtype = np.dtype(dtype)
         self.backend = backend
+        self.guards = guards if guards is not None else Guards.from_env()
         self.backend_options = dict(backend_options)
 
         self._validate_decomposable()
@@ -98,6 +110,10 @@ class DistributedKernel2D:
             if s.own_hi - s.own_lo < h1:
                 raise ValueError("dim-1 slabs thinner than the halo")
         self.comms = SimComm.world(self.p0 * self.p1)
+        self.transport = ReliableComm.attach(
+            self.comms, guards=self.guards,
+            max_retries=int(transport_retries),
+        )
 
         # per-rank kernels
         self._kernels: list[list[tuple[Stencil, object] | None]] = []
@@ -203,7 +219,9 @@ class DistributedKernel2D:
             sl[dim] = slice(lo, hi)
             return arr[tuple(sl)]
 
-        # phase 1: all sends
+        # phase 1: all sends (reliable envelopes: seq + CRC + ack log;
+        # corruption is reported through the halo_checksum guard by the
+        # transport itself and healed by retransmission)
         for r0 in range(self.p0):
             for r1 in range(self.p1):
                 me = self._rank(r0, r1)
@@ -212,12 +230,12 @@ class DistributedKernel2D:
                 lo, hi = slab.local_own_lo, slab.local_own_hi
                 down = neighbors(r0, r1, -1)
                 if down is not None:
-                    self.comms[me].send(
+                    self.transport[me].rsend(
                         take(arr, lo, lo + width), down, _TAGS[(dim, -1)]
                     )
                 up = neighbors(r0, r1, +1)
                 if up is not None:
-                    self.comms[me].send(
+                    self.transport[me].rsend(
                         take(arr, hi - width, hi), up, _TAGS[(dim, +1)]
                     )
         # phase 2: all receives
@@ -229,11 +247,11 @@ class DistributedKernel2D:
                 lo, hi = slab.local_own_lo, slab.local_own_hi
                 up = neighbors(r0, r1, +1)
                 if up is not None:
-                    block = self.comms[me].recv(up, _TAGS[(dim, -1)])
+                    block = self.transport[me].rrecv(up, _TAGS[(dim, -1)])
                     take(arr, hi, hi + width)[...] = block
                 down = neighbors(r0, r1, -1)
                 if down is not None:
-                    block = self.comms[me].recv(down, _TAGS[(dim, +1)])
+                    block = self.transport[me].rrecv(down, _TAGS[(dim, +1)])
                     take(arr, lo - width, lo)[...] = block
 
     # -- execution ----------------------------------------------------------------

@@ -38,6 +38,7 @@ _POLICY_NAMES = frozenset(
         "ExecutionPolicy",
         "ResilientKernel",
         "compile_resilient",
+        "retry_call",
     }
 )
 

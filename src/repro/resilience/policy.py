@@ -37,6 +37,7 @@ __all__ = [
     "ExecutionPolicy",
     "ResilientKernel",
     "compile_resilient",
+    "retry_call",
     "TRANSIENT_ERRORS",
     "FALLBACK_ERRORS",
 ]
@@ -48,6 +49,40 @@ TRANSIENT_ERRORS = (CompileTimeout, OSError)
 #: ValidationError from argument checking) are deliberately absent:
 #: they propagate — no backend can fix a wrong call.
 FALLBACK_ERRORS = (CompileError, OSError, InjectedFault)
+
+
+def retry_call(
+    fn: Callable,
+    *,
+    max_retries: int = 2,
+    backoff: float = 0.05,
+    sleep: Callable[[float], None] = time.sleep,
+    transient: tuple[type[BaseException], ...] = TRANSIENT_ERRORS,
+    give_up: Callable[[BaseException], bool] | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+):
+    """Run ``fn``, retrying ``transient`` failures with doubling backoff.
+
+    The one retry loop shared by the resilience layer: backend
+    compilation (:class:`ResilientKernel`) and halo retransmission
+    (:class:`repro.dmem.transport.ReliableComm`) both drive it.
+    ``give_up(e)`` short-circuits retries for errors that cannot heal
+    (a missing compiler binary, a dead peer rank); ``on_retry(attempt,
+    e)`` runs before each sleep — transports use it to re-send the
+    lost message, kernels to emit telemetry.
+    """
+    delay = backoff
+    for attempt in range(max_retries + 1):
+        try:
+            return fn()
+        except transient as e:
+            if (give_up is not None and give_up(e)) or attempt >= max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, e)
+            sleep(delay)
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class DegradedExecution(ResilienceWarning):
@@ -227,30 +262,29 @@ class ResilientKernel:
         but not transient — it won't reappear between retries, so it
         degrades immediately instead of burning the retry budget.
         """
-        delay = self.policy.backoff
-        for attempt in range(self.policy.max_retries + 1):
-            try:
-                return fn()
-            except TRANSIENT_ERRORS as e:
-                if (
-                    isinstance(e, FileNotFoundError)
-                    or attempt >= self.policy.max_retries
-                ):
-                    raise
-                telemetry.count("resilience.retries")
-                telemetry.event(
-                    "resilience.retry",
-                    backend=self.chain[self._pos],
-                    error=type(e).__name__,
-                )
-                telemetry.tracing.instant(
-                    "retry", cat="resilience",
-                    backend=self.chain[self._pos],
-                    error=type(e).__name__,
-                    attempt=attempt + 1,
-                )
-                self.policy.sleep(delay)
-                delay *= 2
+
+        def on_retry(attempt: int, e: BaseException) -> None:
+            telemetry.count("resilience.retries")
+            telemetry.event(
+                "resilience.retry",
+                backend=self.chain[self._pos],
+                error=type(e).__name__,
+            )
+            telemetry.tracing.instant(
+                "retry", cat="resilience",
+                backend=self.chain[self._pos],
+                error=type(e).__name__,
+                attempt=attempt + 1,
+            )
+
+        return retry_call(
+            fn,
+            max_retries=self.policy.max_retries,
+            backoff=self.policy.backoff,
+            sleep=self.policy.sleep,
+            give_up=lambda e: isinstance(e, FileNotFoundError),
+            on_retry=on_retry,
+        )
 
     def _fail(self, name: str, e: BaseException) -> None:
         self.attempts.append((name, f"{type(e).__name__}: {e}"))

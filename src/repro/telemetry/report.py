@@ -52,8 +52,28 @@ def format_stats(snap: dict) -> str:
         )
 
     counters = snap.get("counters", {})
-    if counters:
-        rows = [[name, n] for name, n in sorted(counters.items())]
+    # The distributed fabric gets its own table: transport resilience
+    # (retransmits, duplicates, reordering, CRC rejects), rank crashes,
+    # checkpoint restores, and barrier-audit failures would otherwise
+    # drown in the generic counter list.
+    dmem = {
+        name[len("dmem."):]: n
+        for name, n in counters.items()
+        if name.startswith("dmem.")
+    }
+    if dmem:
+        rows = [[name, n] for name, n in sorted(dmem.items())]
+        blocks.append(
+            format_table(
+                ["event", "count"], rows, title="distributed fabric"
+            )
+        )
+    general = {
+        name: n for name, n in counters.items()
+        if not name.startswith("dmem.")
+    }
+    if general:
+        rows = [[name, n] for name, n in sorted(general.items())]
         blocks.append(format_table(["counter", "value"], rows, title="counters"))
 
     if len(blocks) == 1:

@@ -1,0 +1,18 @@
+"""Isolation for the dmem suite's fault-injection tests.
+
+The transport/recovery tests arm fault sites; make sure no armed fault
+or guard config leaks between tests (or in from the environment).
+"""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv("SNOWFLAKE_FAULTS", raising=False)
+    monkeypatch.delenv("SNOWFLAKE_GUARDS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()

@@ -1,0 +1,163 @@
+"""Checkpoint/restart: rank crashes replay to bitwise-identical state."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.weights import WeightArray
+from repro.dmem import (
+    Checkpoint,
+    CheckpointError,
+    DistributedKernel,
+    RankFailure,
+    RecoveryExhausted,
+    RecoveryPolicy,
+)
+from repro.resilience.faults import inject
+
+pytestmark = pytest.mark.faults
+
+LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+INTERIOR = RectDomain((1, 1), (-1, -1))
+
+
+def _dk(n=16, nranks=2, **kw):
+    group = StencilGroup([Stencil(LAP, "u", INTERIOR, name="smooth")])
+    return DistributedKernel(group, (n, n), nranks, backend="numpy", **kw)
+
+
+def _fault_free(u0, times=1, n=16, nranks=2):
+    """Reference: the same distributed run with no faults armed."""
+    ref = np.array(u0, copy=True)
+    dk = _dk(n=n, nranks=nranks)
+    dk.scatter(u=ref)
+    dk.run(times)
+    dk.gather(u=ref)
+    return ref
+
+
+class TestCheckpoint:
+    def test_capture_restore_roundtrip(self, rng):
+        locals_ = [{"u": rng.random((4, 4))} for _ in range(3)]
+        want = [{g: a.copy() for g, a in r.items()} for r in locals_]
+        ckpt = Checkpoint.capture(2, locals_)
+        for r in locals_:
+            r["u"] += 99.0  # diverge the live state
+        ckpt.restore_into(locals_)
+        for live, snap in zip(locals_, want):
+            np.testing.assert_array_equal(live["u"], snap["u"])
+
+    def test_capture_is_a_deep_copy(self, rng):
+        locals_ = [{"u": rng.random((4, 4))}]
+        ckpt = Checkpoint.capture(0, locals_)
+        locals_[0]["u"][0, 0] = -1.0
+        assert ckpt.blocks[0]["u"][0, 0] != -1.0
+        ckpt.verify()  # mutating live state never invalidates it
+
+    def test_corrupted_snapshot_refused(self, rng):
+        locals_ = [{"u": rng.random((4, 4))}]
+        ckpt = Checkpoint.capture(0, locals_)
+        ckpt.blocks[0]["u"][1, 1] += 1.0  # bit-rot in the snapshot
+        with pytest.raises(CheckpointError, match="failed CRC"):
+            ckpt.restore_into(locals_)
+
+    def test_restore_refuses_changed_invariants(self, rng):
+        locals_ = [{"u": rng.random((4, 4))}]
+        ckpt = Checkpoint.capture(0, locals_)
+        with pytest.raises(CheckpointError, match="invariants changed"):
+            ckpt.restore_into([{"u": np.zeros((2, 2))}])
+        with pytest.raises(CheckpointError, match="grid set changed"):
+            ckpt.restore_into([{"v": np.zeros((4, 4))}])
+        with pytest.raises(CheckpointError, match="rank"):
+            ckpt.restore_into([])
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            RecoveryPolicy(interval=0)
+        with pytest.raises(ValueError, match="max_restarts"):
+            RecoveryPolicy(max_restarts=-1)
+
+
+class TestCrashRecovery:
+    def test_crash_without_recovery_is_a_typed_failure(self, rng):
+        dk = _dk()
+        dk.scatter(u=rng.random((16, 16)))
+        with inject("comm.rank.crash", times=1):
+            with pytest.raises(RankFailure) as ei:
+                dk.run()
+        assert ei.value.rank == 0
+        assert dk.comms[0].dead_ranks() == {0}
+        assert dk.comm_stats.crashes == 1
+
+    def test_crash_recovers_bitwise_identical(self, rng):
+        u0 = rng.random((16, 16))
+        ref = _fault_free(u0, times=3)
+        u = np.array(u0, copy=True)
+        dk = _dk()
+        dk.scatter(u=u)
+        with inject("comm.rank.crash", times=1):
+            dk.run(3, recovery=RecoveryPolicy())
+        dk.gather(u=u)
+        np.testing.assert_array_equal(u, ref)  # bitwise, not allclose
+        assert dk.comm_stats.crashes == 1
+        assert dk.comm_stats.restores == 1
+        assert not dk.comms[0].dead_ranks()
+
+    def test_crash_of_middle_rank_recovers(self, rng):
+        u0 = rng.random((18, 18))
+        ref = _fault_free(u0, times=2, n=18, nranks=3)
+        u = np.array(u0, copy=True)
+        dk = _dk(n=18, nranks=3)
+        dk.scatter(u=u)
+        # per sweep the crash site is probed once per alive rank;
+        # after=1 skips rank 0's probe so rank 1 dies mid-sweep
+        with inject("comm.rank.crash", times=1, after=1):
+            dk.run(2, recovery=RecoveryPolicy())
+        dk.gather(u=u)
+        np.testing.assert_array_equal(u, ref)
+
+    def test_repeated_crashes_within_budget(self, rng):
+        u0 = rng.random((16, 16))
+        ref = _fault_free(u0, times=2)
+        u = np.array(u0, copy=True)
+        dk = _dk()
+        dk.scatter(u=u)
+        # after=1 staggers the two firings onto different sweeps (a
+        # plain times=2 would kill both ranks within one sweep and
+        # count as a single restart)
+        with inject("comm.rank.crash", times=2, after=1):
+            dk.run(2, recovery=RecoveryPolicy(max_restarts=3))
+        dk.gather(u=u)
+        np.testing.assert_array_equal(u, ref)
+        assert dk.comm_stats.restores == 2
+
+    def test_crash_after_checkpointed_progress(self, rng):
+        u0 = rng.random((16, 16))
+        ref = _fault_free(u0, times=4)
+        u = np.array(u0, copy=True)
+        dk = _dk()
+        dk.scatter(u=u)
+        # 2 probes/sweep (2 ranks): after=4 fires in sweep 3, past the
+        # interval-2 checkpoint, so replay starts from sweep 2
+        with inject("comm.rank.crash", times=1, after=4):
+            dk.run(4, recovery=RecoveryPolicy(interval=2))
+        dk.gather(u=u)
+        np.testing.assert_array_equal(u, ref)
+
+    def test_restart_budget_exhausted(self, rng):
+        dk = _dk()
+        dk.scatter(u=rng.random((16, 16)))
+        with inject("comm.rank.crash", times=None):  # crash every sweep
+            with pytest.raises(RecoveryExhausted) as ei:
+                dk.run(2, recovery=RecoveryPolicy(max_restarts=2))
+        assert ei.value.restarts == 2
+        assert len(ei.value.history) == 3  # 2 restored + the fatal one
+
+    def test_zero_restarts_means_fail_fast(self, rng):
+        dk = _dk()
+        dk.scatter(u=rng.random((16, 16)))
+        with inject("comm.rank.crash", times=1):
+            with pytest.raises(RecoveryExhausted):
+                dk.run(1, recovery=RecoveryPolicy(max_restarts=0))

@@ -1,0 +1,253 @@
+"""Reliable transport: exactly-once halo delivery over a lossy wire.
+
+Unit tests for the envelope format and each protocol mechanism, plus
+the acceptance property: under any combination of injected drops,
+duplicates, reordering, and corruption, every message is delivered
+exactly once, in order, bit-for-bit.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dmem.comm import RankFailure, SimComm
+from repro.dmem.transport import (
+    ReliableComm,
+    TransportError,
+    _CorruptEnvelope,
+    _pack,
+    _unpack,
+)
+from repro.resilience import faults
+from repro.resilience.faults import inject
+from repro.resilience.guards import Guards, GuardViolation, GuardWarning
+
+pytestmark = pytest.mark.faults
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        payload = np.arange(12.0).reshape(3, 4)
+        seq, got = _unpack(_pack(7, payload))
+        assert seq == 7
+        np.testing.assert_array_equal(got, payload)
+        assert got.dtype == payload.dtype
+
+    def test_roundtrip_preserves_dtype(self):
+        payload = np.array([1, 2, 3], dtype=np.int32)
+        _, got = _unpack(_pack(0, payload))
+        assert got.dtype == np.int32
+
+    def test_any_bitflip_detected(self):
+        env = _pack(3, np.ones(5))
+        for pos in range(0, len(env), 7):
+            bad = env.copy()
+            bad[pos] ^= 0x40
+            with pytest.raises(_CorruptEnvelope):
+                _unpack(bad)
+
+    def test_truncation_detected(self):
+        env = _pack(0, np.ones(5))
+        with pytest.raises(_CorruptEnvelope, match="truncated"):
+            _unpack(env[:10])
+        with pytest.raises(_CorruptEnvelope, match="CRC"):
+            _unpack(env[:-1])
+
+
+class TestReliableDelivery:
+    def test_clean_roundtrip(self):
+        a, b = ReliableComm.world(2)
+        data = np.arange(6.0).reshape(2, 3)
+        assert a.rsend(data, 1) == 0
+        np.testing.assert_array_equal(b.rrecv(0), data)
+        assert b.stats.acked == 1
+
+    def test_sequenced_in_order(self):
+        a, b = ReliableComm.world(2)
+        for i in range(4):
+            assert a.rsend(np.full(2, float(i)), 1) == i
+        for i in range(4):
+            np.testing.assert_array_equal(
+                b.rrecv(0), np.full(2, float(i))
+            )
+
+    def test_send_drop_healed_by_retransmit(self):
+        a, b = ReliableComm.world(2)
+        data = np.arange(8.0)
+        with inject("comm.send.drop", times=1):
+            a.rsend(data, 1)
+        np.testing.assert_array_equal(b.rrecv(0), data)
+        assert b.stats.retransmits >= 1
+
+    def test_recv_drop_healed_by_retransmit(self):
+        a, b = ReliableComm.world(2)
+        data = np.arange(8.0)
+        a.rsend(data, 1)
+        with inject("comm.recv.drop", times=1):
+            np.testing.assert_array_equal(b.rrecv(0), data)
+        assert b.stats.retransmits >= 1
+
+    def test_corruption_healed_silently_with_guards_off(self):
+        a, b = ReliableComm.world(2)  # Guards() default: all off
+        data = np.arange(8.0)
+        with inject("comm.payload.corrupt", times=1):
+            a.rsend(data, 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GuardWarning)
+            np.testing.assert_array_equal(b.rrecv(0), data)
+        assert b.stats.crc_failures == 1
+        assert b.stats.retransmits >= 1
+
+    def test_corruption_warns_and_heals_with_guard_warn(self):
+        a, b = ReliableComm.world(
+            2, guards=Guards(halo_checksum="warn")
+        )
+        data = np.arange(8.0)
+        with inject("comm.payload.corrupt", times=1):
+            a.rsend(data, 1)
+        with pytest.warns(GuardWarning, match="corrupted in flight"):
+            np.testing.assert_array_equal(b.rrecv(0), data)
+
+    def test_corruption_fatal_with_guard_raise(self):
+        a, b = ReliableComm.world(
+            2, guards=Guards(halo_checksum="raise")
+        )
+        with inject("comm.payload.corrupt", times=1):
+            a.rsend(np.ones(4), 1)
+        with pytest.raises(GuardViolation, match="corrupted in flight"):
+            b.rrecv(0)
+
+    def test_duplicate_discarded(self):
+        a, b = ReliableComm.world(2)
+        data = np.arange(3.0)
+        with inject("comm.msg.duplicate", times=1):
+            a.rsend(data, 1)
+        np.testing.assert_array_equal(b.rrecv(0), data)
+        assert b.stats.duplicates == 1
+
+    def test_reorder_reassembled_in_order(self):
+        a, b = ReliableComm.world(2)
+        with inject("comm.msg.reorder", times=1):
+            a.rsend(np.zeros(2), 1)  # held back by the fault...
+            a.rsend(np.ones(2), 1)   # ...travels first, flushes it
+        np.testing.assert_array_equal(b.rrecv(0), np.zeros(2))
+        np.testing.assert_array_equal(b.rrecv(0), np.ones(2))
+        assert b.stats.reordered == 1
+
+    def test_reorder_of_final_message_recovered_via_nack(self):
+        # nothing travels after the held-back envelope; the receiver's
+        # retransmit request must flush it
+        a, b = ReliableComm.world(2)
+        data = np.arange(4.0)
+        with inject("comm.msg.reorder", times=1):
+            a.rsend(data, 1)
+        np.testing.assert_array_equal(b.rrecv(0), data)
+
+    def test_loss_beyond_budget_raises_transport_error(self):
+        a, b = ReliableComm.world(2, max_retries=3)
+        with inject("comm.send.drop", times=None):  # every (re)send lost
+            a.rsend(np.ones(4), 1)
+            with pytest.raises(TransportError, match="gave up on seq 0"):
+                b.rrecv(0)
+        assert b.stats.retransmits >= 3
+
+    def test_never_sent_raises_transport_error(self):
+        _, b = ReliableComm.world(2, max_retries=2)
+        with pytest.raises(TransportError, match="protocol bug"):
+            b.rrecv(0)
+
+    def test_dead_peer_raises_rank_failure(self):
+        a, b = ReliableComm.world(2)
+        a.raw.kill(0)
+        with pytest.raises(RankFailure) as ei:
+            b.rrecv(0)
+        assert ei.value.rank == 0
+
+    def test_in_flight_message_from_dead_peer_still_delivered(self):
+        # liveness is checked only after draining the wire: a crash
+        # after send must not lose the already-transmitted envelope
+        a, b = ReliableComm.world(2)
+        data = np.arange(5.0)
+        a.rsend(data, 1)
+        a.raw.kill(0)
+        np.testing.assert_array_equal(b.rrecv(0), data)
+        with pytest.raises(RankFailure):
+            b.rrecv(0)
+
+    def test_attach_layers_over_existing_world(self):
+        sims = SimComm.world(3)
+        world = ReliableComm.attach(sims, max_retries=2)
+        assert [rc.rank for rc in world] == [0, 1, 2]
+        assert world[1].raw is sims[1]
+        world[0].rsend(np.ones(2), 2, tag=9)
+        np.testing.assert_array_equal(
+            world[2].rrecv(0, tag=9), np.ones(2)
+        )
+
+    def test_reset_forgets_channels_and_purges_wire(self):
+        a, b = ReliableComm.world(2)
+        a.rsend(np.ones(2), 1)
+        a.rsend(np.ones(2), 1)
+        assert a.reset() == 2  # both envelopes purged
+        # sequence numbers restart from zero on both sides
+        assert a.rsend(np.zeros(2), 1) == 0
+        np.testing.assert_array_equal(b.rrecv(0), np.zeros(2))
+
+
+FAULT_SITES = (
+    "comm.send.drop",
+    "comm.recv.drop",
+    "comm.payload.corrupt",
+    "comm.msg.duplicate",
+    "comm.msg.reorder",
+)
+
+
+class TestExactlyOnceProperty:
+    """The acceptance property: any bounded combination of wire faults,
+    delivery stays exactly-once, in-order, bit-for-bit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        schedule=st.dictionaries(
+            st.sampled_from(FAULT_SITES),
+            st.tuples(
+                st.integers(min_value=1, max_value=2),  # times
+                st.integers(min_value=0, max_value=4),  # after
+            ),
+            max_size=len(FAULT_SITES),
+        ),
+    )
+    def test_exactly_once_under_random_fault_schedules(self, n, schedule):
+        faults.reset()
+        try:
+            # total possible fault firings = 2 per site * 5 sites = 10;
+            # every failed delivery attempt consumes at least one armed
+            # firing, so a retry budget above 10 always converges.
+            a, b = ReliableComm.world(2, max_retries=12)
+            for site, (times, after) in schedule.items():
+                faults.arm(site, times=times, after=after)
+            sent = [
+                np.full(3, float(i)) + np.arange(3) * 0.5
+                for i in range(n)
+            ]
+            for msg in sent:
+                a.rsend(msg, 1)
+            got = [b.rrecv(0) for _ in range(n)]
+            for want, have in zip(sent, got):
+                np.testing.assert_array_equal(have, want)
+            # nothing left over: no unacked envelope, no undelivered
+            # stash entry, no parked reorder, and any residual
+            # duplicates on the wire are discarded, not delivered
+            ch = b._state.channel((0, 1, 0))
+            b._drain(ch, 0, 0)
+            assert not ch.stash
+            assert not ch.log
+            assert not ch.delayed
+            assert ch.next_in == n
+        finally:
+            faults.reset()

@@ -10,10 +10,12 @@ import shutil
 import numpy as np
 import pytest
 
-from repro import Component, RectDomain, Stencil, WeightArray
+from repro import Component, RectDomain, Stencil, StencilGroup, WeightArray
 from repro.backends.jit import CompileError, cache_dir, compile_and_load
 from repro.backends import jit
-from repro.dmem.comm import CommError, SimComm
+from repro.dmem.comm import CommError, RankFailure, SimComm
+from repro.dmem.executor import DistributedKernel
+from repro.dmem.transport import ReliableComm
 from repro.resilience import InjectedFault, ResilienceWarning, faults
 from repro.resilience.faults import SITES, inject
 
@@ -108,6 +110,36 @@ def _comm_payload_corrupt():
     assert a.stats.corrupted == 1
 
 
+def _comm_msg_duplicate():
+    a, b = ReliableComm.world(2)
+    data = np.arange(3.0)
+    with inject("comm.msg.duplicate", times=1):
+        a.rsend(data, 1)
+    assert np.array_equal(b.rrecv(0), data)  # delivered exactly once
+    assert b.stats.duplicates == 1
+
+
+def _comm_msg_reorder():
+    a, b = ReliableComm.world(2)
+    with inject("comm.msg.reorder", times=1):
+        a.rsend(np.zeros(2), 1)  # overtaken on the wire...
+        a.rsend(np.ones(2), 1)
+    assert np.array_equal(b.rrecv(0), np.zeros(2))  # ...but resequenced
+    assert np.array_equal(b.rrecv(0), np.ones(2))
+    assert b.stats.reordered == 1
+
+
+def _comm_rank_crash():
+    group = StencilGroup([Stencil(LAP, "u", INTERIOR, name="s")])
+    dk = DistributedKernel(group, (12, 12), 2, backend="numpy")
+    dk.scatter(u=np.ones((12, 12)))
+    with inject("comm.rank.crash", times=1):
+        with pytest.raises(RankFailure, match="rank 0 has failed"):
+            dk.run()
+    assert dk.comms[0].dead_ranks() == {0}
+    assert dk.comm_stats.crashes == 1
+
+
 SCENARIOS = {
     "jit.spawn": _jit_spawn,
     "jit.load": _jit_load,
@@ -118,6 +150,9 @@ SCENARIOS = {
     "comm.send.drop": _comm_send_drop,
     "comm.recv.drop": _comm_recv_drop,
     "comm.payload.corrupt": _comm_payload_corrupt,
+    "comm.msg.duplicate": _comm_msg_duplicate,
+    "comm.msg.reorder": _comm_msg_reorder,
+    "comm.rank.crash": _comm_rank_crash,
 }
 
 

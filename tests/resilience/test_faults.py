@@ -28,6 +28,9 @@ class TestRegistry:
             "comm.send.drop",
             "comm.recv.drop",
             "comm.payload.corrupt",
+            "comm.msg.duplicate",
+            "comm.msg.reorder",
+            "comm.rank.crash",
         ):
             assert s in sites
 

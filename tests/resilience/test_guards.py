@@ -110,12 +110,12 @@ class TestInvariants:
 
 
 class TestHaloChecksum:
-    def dk(self, guards=None, n=16):
+    def dk(self, guards=None, n=16, **kw):
         group = StencilGroup(
             [Stencil(LAP, "u", INTERIOR, name="smooth")]
         )
         return DistributedKernel(
-            group, (n, n), 2, backend="numpy", guards=guards
+            group, (n, n), 2, backend="numpy", guards=guards, **kw
         )
 
     def reference(self, u0):
@@ -145,10 +145,12 @@ class TestHaloChecksum:
                 dk.run()
         assert dk.comm_stats.corrupted == 1
 
-    def test_guard_off_means_silent_corruption(self, rng):
+    def test_guard_off_on_raw_wire_means_silent_corruption(self, rng):
+        # the bare fabric (transport="raw") with guards off is the
+        # worst case: corruption lands in the halo and nothing notices
         u = rng.random((16, 16))
         ref = self.reference(u)
-        dk = self.dk()  # guards default: all off
+        dk = self.dk(transport="raw")  # guards default: all off
         dk.scatter(u=u)
         with inject("comm.payload.corrupt", times=1):
             with warnings.catch_warnings():
@@ -156,6 +158,22 @@ class TestHaloChecksum:
                 dk.run()  # nothing notices...
         dk.gather(u=u)
         assert not np.allclose(u, ref)  # ...and the answer is wrong
+
+    def test_reliable_transport_heals_even_with_guards_off(self, rng):
+        # same fault, default transport: the envelope CRC catches the
+        # corruption and retransmission heals it — silently, because
+        # the guard severity is off
+        u = rng.random((16, 16))
+        ref = self.reference(u)
+        dk = self.dk()  # guards default: all off
+        dk.scatter(u=u)
+        with inject("comm.payload.corrupt", times=1):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", GuardWarning)
+                dk.run()
+        dk.gather(u=u)
+        np.testing.assert_allclose(u, ref)
+        assert dk.comm_stats.crc_failures == 1
 
     def test_crc_is_content_addressed(self):
         a = np.arange(16.0)

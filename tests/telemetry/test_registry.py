@@ -174,3 +174,16 @@ class TestReport:
     def test_format_stats_empty_registry(self):
         out = telemetry.format_stats(telemetry.snapshot())
         assert "telemetry mode" in out
+
+    def test_dmem_counters_get_their_own_table(self):
+        telemetry.count("dmem.transport.retransmits", 3)
+        telemetry.count("dmem.restores")
+        telemetry.count("jit.cache.miss")
+        out = telemetry.render_stats()
+        assert "distributed fabric" in out
+        # dmem counters appear prefix-stripped in the fabric table and
+        # stay out of the generic counter list
+        assert "transport.retransmits" in out
+        assert "restores" in out
+        counters_block = out.split("counters")[-1]
+        assert "dmem." not in counters_block
