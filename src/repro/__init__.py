@@ -44,6 +44,7 @@ from .core import (
 )
 from .backends import available_backends, get_backend, register_backend
 from .resilience import ExecutionPolicy, Guards
+from .run import run
 from .schedule import Schedule, ScheduleOptions, build_schedule, schedule_for
 
 __version__ = "1.0.0"
@@ -69,6 +70,7 @@ __all__ = [
     "Schedule",
     "ScheduleOptions",
     "build_schedule",
+    "run",
     "schedule_for",
     "__version__",
 ]

@@ -220,6 +220,8 @@ def cmd_explain(args) -> int:
         options["multicolor"] = False
     if args.tile is not None:
         options["tile"] = int(args.tile)
+    if args.time_tile is not None:
+        options["time_tile"] = int(args.time_tile)
     prov = explain(
         group, shapes, backend=args.backend, policy=args.policy,
         **options,
@@ -253,12 +255,20 @@ def cmd_bench(args) -> int:
     import json
     from pathlib import Path
 
-    from .bench import check_regression, run_bench, write_bench_kernels
+    from .bench import (
+        check_regression,
+        check_sweep_model,
+        run_bench,
+        write_bench_kernels,
+    )
 
     backends = tuple(b for b in args.backends.split(",") if b)
+    time_tiles = tuple(
+        int(k) for k in (args.sweep or "").split(",") if k
+    )
     doc = run_bench(
         n=int(args.size), backends=backends, spec=args.spec,
-        calls=int(args.calls),
+        calls=int(args.calls), time_tiles=time_tiles,
     )
     spec = doc["spec"]
     print(f"machine: {spec['name']} "
@@ -280,11 +290,29 @@ def cmd_bench(args) -> int:
             else:
                 print(f"  {b:8s} {t['points_per_s']:.3e} points/s "
                       f"= {t['roofline_fraction'] * 100:5.1f}% of roofline")
+        for b, per_k in rec.get("sweep", {}).items():
+            for k, t in per_k.items():
+                tag = f"{b}[tt={k}]"
+                model = t.get("model", {})
+                pred = model.get("traffic_reduction")
+                pred_s = f", predicted x{pred:.2f} traffic" if pred else ""
+                if "error" in t:
+                    print(f"  {tag:12s} ERROR: {t['error']}")
+                else:
+                    speed = t.get("speedup")
+                    speed_s = f" (x{speed:.2f} vs untiled)" if speed else ""
+                    print(f"  {tag:12s} {t['points_per_s']:.3e} "
+                          f"points/s per application{speed_s}{pred_s}")
     if args.out:
         print(f"wrote {write_bench_kernels(doc, args.out)}")
     if args.check:
         baseline = json.loads(Path(args.check).read_text())
         problems = check_regression(doc, baseline, float(args.tolerance))
+        # The analytic swept-cost predictions are deterministic on the
+        # paper specs, so --check also demands they reproduce bit-exact.
+        problems += [
+            f"sweep model: {p}" for p in check_sweep_model(baseline)
+        ]
         if problems:
             for p in problems:
                 print(f"REGRESSION: {p}")
@@ -501,6 +529,11 @@ def main(argv=None) -> int:
         help="tile size recorded in the schedule (c/openmp backends)",
     )
     ex.add_argument(
+        "--time-tile", type=int, default=None, metavar="K",
+        help="fuse K applications into one time tile and report the "
+        "legality evidence and predicted traffic reduction",
+    )
+    ex.add_argument(
         "--dmem", type=int, default=None, metavar="RANKS",
         help="also report the distributed execution plan over RANKS "
         "simulated ranks: decomposition, reliable-transport and "
@@ -546,6 +579,12 @@ def main(argv=None) -> int:
     be.add_argument(
         "--tolerance", type=float, default=0.25,
         help="fractional slowdown tolerated by --check (default: 0.25)",
+    )
+    be.add_argument(
+        "--sweep", metavar="K1,K2,...", default="",
+        help="also time each operator with time_tile=K (comma-separated "
+        "tile depths, each >= 2) and record per-application throughput, "
+        "speedup and the swept-cost prediction",
     )
     fig = sub.add_parser("figures", help="regenerate paper figures")
     fig.add_argument("rest", nargs=argparse.REMAINDER)

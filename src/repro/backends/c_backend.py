@@ -88,12 +88,33 @@ def generate_c_source(
     lines.append("{")
     for l in ctx.prologue():
         lines.append("  " + l)
+    tt = sched.time_tile
+    if tt is not None and tt.kind == "wavefront":
+        # Single slope-0 step: blocked wavefront nest, all k
+        # applications of a block before the next block starts.
+        (step,) = tuple(sched.steps())
+        chain = list(step.stencils)
+        names = ", ".join(group[i].name for i in chain)
+        lines.append(
+            f"  /* stencil(s) {chain}: {names} — wavefront time tile "
+            f"k={tt.k} */"
+        )
+        loops = StencilLoops(
+            ctx, group[chain[0]], tile=sched.options.tile,
+            parity=step.sweep, snapshot_name=None,
+            fused_with=[group[i] for i in chain[1:]],
+        )
+        for l in loops.emit_wavefront(tt.k):
+            lines.append("  " + l)
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+    body: list[str] = []
     for step in sched.steps():
         chain = list(step.stencils)
         si = chain[0]
         stencil = group[si]
         names = ", ".join(group[i].name for i in chain)
-        lines.append(f"  /* stencil(s) {chain}: {names} */")
+        body.append(f"/* stencil(s) {chain}: {names} */")
         fused = [group[i] for i in chain[1:]]
         if step.snapshot:
             snap = f"snap_{si}"
@@ -101,20 +122,29 @@ def generate_c_source(
                 ctx, stencil, tile=sched.options.tile, parity=step.sweep,
                 snapshot_name=snap,
             )
-            lines.append("  {")
+            body.append("{")
             for l in snapshot_decl(ctx, stencil, snap):
-                lines.append("    " + l)
+                body.append("  " + l)
             for l in loops.emit():
-                lines.append("    " + l)
-            lines.append(f"    free({snap});")
-            lines.append("  }")
+                body.append("  " + l)
+            body.append(f"  free({snap});")
+            body.append("}")
         else:
             loops = StencilLoops(
                 ctx, stencil, tile=sched.options.tile, parity=step.sweep,
                 snapshot_name=None, fused_with=fused,
             )
-            for l in loops.emit():
-                lines.append("  " + l)
+            body.extend(loops.emit())
+    if tt is not None:
+        # Fused time tile: one outer time loop around the whole step
+        # sequence — every application runs the full (barrier-ordered)
+        # program, so the result is k sequential sweeps by construction.
+        lines.append(f"  /* fused time tile k={tt.k} */")
+        lines.append(f"  for (int64_t sf_tt = 0; sf_tt < {tt.k}; ++sf_tt) {{")
+        lines.extend("    " + l for l in body)
+        lines.append("  }")
+    else:
+        lines.extend("  " + l for l in body)
     lines.append("}")
     return "\n".join(lines) + "\n"
 
@@ -189,7 +219,7 @@ class CBackend(Backend):
     #: to change the vocabulary without touching the specialize pipeline
     _KNOBS: Mapping[str, object] = {
         "schedule": "greedy", "tile": None, "multicolor": True,
-        "fuse": False,
+        "fuse": False, "time_tile": 1,
     }
 
     def _schedule_spec(self, options: dict):

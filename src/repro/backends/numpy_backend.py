@@ -30,7 +30,23 @@ from ..kernel import body_for, eval_rect, eval_scalar_lets
 from ..schedule import as_schedule, pop_schedule_spec
 from .base import Backend, register_backend
 
-__all__ = ["NumpyBackend", "lattice_slices"]
+__all__ = ["NumpyBackend", "lattice_slices", "split_rect"]
+
+
+def split_rect(rect: ResolvedRect, tile: int | None) -> list[ResolvedRect]:
+    """Cut ``rect`` into blocks of ``tile`` planes along its outermost
+    free dimension (``None``/oversized tile: the rect itself)."""
+    d = next((i for i in range(rect.ndim) if rect.counts[i] > 1), None)
+    if d is None or not tile or rect.counts[d] <= tile:
+        return [rect]
+    subs = []
+    for start in range(0, rect.counts[d], tile):
+        lows = list(rect.lows)
+        lows[d] = rect.lows[d] + rect.strides[d] * start
+        counts = list(rect.counts)
+        counts[d] = min(tile, rect.counts[d] - start)
+        subs.append(ResolvedRect(tuple(lows), rect.strides, tuple(counts)))
+    return subs
 
 
 def lattice_slices(
@@ -120,6 +136,54 @@ class _StencilExec:
                 scalar_env,
             )
 
+    def prepare_blocks(self, tile: int | None) -> None:
+        """Precompute the blocked-wavefront traversal (time tiling).
+
+        Each rect is cut into ``tile``-plane blocks along its outermost
+        free dimension; :meth:`run_wavefront` then runs *all* ``k``
+        applications of one block before moving to the next — the
+        blocked reference implementation of the wavefront tile, bitwise
+        equal to ``k`` whole sweeps because the schedule proved slope 0
+        (no read of this step ever crosses a block boundary into
+        another writer's cells).
+        """
+        if self.needs_snapshot:
+            raise ValueError("time-tiled steps are snapshot-free by legality")
+        om = self.stencil.output_map
+        self.blocks = []
+        for rect in self.rects:
+            for sub in split_rect(rect, tile):
+                self.blocks.append(
+                    (
+                        sub,
+                        lattice_slices(sub, om.scale, om.offset),
+                        {
+                            ld.key: lattice_slices(sub, ld.scale, ld.offset)
+                            for ld in self.body.loads()
+                        },
+                    )
+                )
+
+    def run_wavefront(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        params: Mapping[str, float],
+        k: int,
+    ) -> None:
+        """Blocked wavefront: ``k`` applications per spatial block."""
+        out = arrays[self.stencil.output]
+        scalar_env = eval_scalar_lets(self.body, params)
+        for sub, oslc, lslc in self.blocks:
+            for _ in range(k):
+                out[oslc] = eval_rect(
+                    self.body,
+                    lambda ld: arrays[ld.grid][lslc[ld.key]],
+                    params,
+                    sub.counts,
+                    out.dtype,
+                    scalar_env,
+                )
+
     def run_terms(
         self, arrays: Mapping[str, np.ndarray], params: Mapping[str, float]
     ) -> None:
@@ -166,27 +230,45 @@ class NumpyBackend(Backend):
     name = "numpy"
     requires_toolchain = False
 
-    _KNOBS = {"schedule": "greedy", "fuse": False, "multicolor": False}
+    _KNOBS = {
+        "schedule": "greedy", "fuse": False, "multicolor": False,
+        "time_tile": 1,
+    }
 
     def specializer(self, group: StencilGroup, **options):
         spec = pop_schedule_spec(options, backend=self.name, knobs=self._KNOBS)
 
         def specialize(shapes, dtype) -> Callable:
-            order = as_schedule(spec, group, shapes).stencil_order()
+            sched = as_schedule(spec, group, shapes)
+            order = sched.stencil_order()
             execs = [_StencilExec(group[i], shapes) for i in order]
             telemetry.count("codegen.numpy.stencil_execs", len(execs))
+            tt = sched.time_tile
+
+            if tt is not None and tt.kind == "wavefront":
+                for ex in execs:
+                    ex.prepare_blocks(sched.options.tile)
+
+                def impl(arrays, params):
+                    for ex in execs:
+                        ex.run_wavefront(arrays, params, tt.k)
+
+                return impl
+
+            applications = 1 if tt is None else tt.k
 
             def impl(arrays, params):
-                if telemetry.tracing.active():
-                    for ex in execs:
-                        with telemetry.tracing.span(
-                            f"stencil:{ex.stencil.name}", cat="kernel",
-                            backend="numpy",
-                        ):
+                for _ in range(applications):
+                    if telemetry.tracing.active():
+                        for ex in execs:
+                            with telemetry.tracing.span(
+                                f"stencil:{ex.stencil.name}", cat="kernel",
+                                backend="numpy",
+                            ):
+                                ex.run(arrays, params)
+                    else:
+                        for ex in execs:
                             ex.run(arrays, params)
-                else:
-                    for ex in execs:
-                        ex.run(arrays, params)
 
             return impl
 

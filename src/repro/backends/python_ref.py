@@ -114,29 +114,34 @@ class PythonBackend(Backend):
 
     name = "python"
 
-    _KNOBS = {"schedule": "greedy", "fuse": False, "multicolor": False}
+    _KNOBS = {
+        "schedule": "greedy", "fuse": False, "multicolor": False,
+        "time_tile": 1,
+    }
 
     def specializer(self, group: StencilGroup, **options):
         spec = pop_schedule_spec(options, backend=self.name, knobs=self._KNOBS)
 
         def specialize(shapes, dtype) -> Callable:
-            order = [
-                group[i]
-                for i in as_schedule(spec, group, shapes).stencil_order()
-            ]
+            sched = as_schedule(spec, group, shapes)
+            order = [group[i] for i in sched.stencil_order()]
+            # The oracle form of a time tile is its *definition*: k
+            # sequential applications of the whole group per call.
+            applications = 1 if sched.time_tile is None else sched.time_tile.k
             telemetry.count("codegen.python.interpreted_stencils", len(group))
 
             def impl(arrays, params):
-                if telemetry.tracing.active():
-                    for stencil in order:
-                        with telemetry.tracing.span(
-                            f"stencil:{stencil.name}", cat="kernel",
-                            backend="python",
-                        ):
+                for _ in range(applications):
+                    if telemetry.tracing.active():
+                        for stencil in order:
+                            with telemetry.tracing.span(
+                                f"stencil:{stencil.name}", cat="kernel",
+                                backend="python",
+                            ):
+                                _apply_stencil(stencil, arrays, params, shapes)
+                    else:
+                        for stencil in order:
                             _apply_stencil(stencil, arrays, params, shapes)
-                else:
-                    for stencil in order:
-                        _apply_stencil(stencil, arrays, params, shapes)
 
             return impl
 

@@ -38,7 +38,7 @@ from .hpgmg.operators import (
     jacobi_stencil,
     vc_laplacian,
 )
-from .kernel import body_for, kernel_cost
+from .kernel import body_for, kernel_cost, swept_cost
 from .machine.roofline import (
     PAPER_BYTES_PER_STENCIL,
     roofline_stencils_per_s,
@@ -55,6 +55,7 @@ __all__ = [
     "run_bench",
     "write_bench_kernels",
     "check_regression",
+    "check_sweep_model",
 ]
 
 #: schema tag stamped into BENCH_kernels.json
@@ -131,14 +132,24 @@ def _time_backend(
     shapes: Mapping[str, tuple[int, ...]],
     arrays: Mapping[str, np.ndarray],
     calls: int,
+    **options,
 ) -> dict:
     """Best-of-``calls`` wall time of one backend on one operator.
 
     Compile failures (no toolchain, codegen bug) are *data*, not a
     crash: the record carries ``{"error": ...}`` and the bench goes on.
+    ``calls`` must be >= 1 — zero timed calls would leave the best time
+    at ``inf`` and poison every derived rate downstream.
     """
+    if calls < 1:
+        raise ValueError(
+            f"calls must be >= 1 (got {calls}): zero timed calls would "
+            "report seconds_per_call=inf"
+        )
     try:
-        kernel = stencil.compile(backend=backend, shapes=shapes, dtype=np.float64)
+        kernel = stencil.compile(
+            backend=backend, shapes=shapes, dtype=np.float64, **options
+        )
     except Exception as e:  # noqa: BLE001 - any backend failure is reportable
         return {"error": f"{type(e).__name__}: {e}"}
     work = {g: a.copy() for g, a in arrays.items()}
@@ -158,17 +169,33 @@ def run_bench(
     spec: MachineSpec | str = "paper-cpu",
     calls: int = 3,
     seed: int = 20170529,
+    time_tiles: Sequence[int] = (),
 ) -> dict:
     """Benchmark the paper operators and attribute against the roofline.
 
     Returns the ``BENCH_kernels.json`` document (see
-    :func:`write_bench_kernels` for the schema).
+    :func:`write_bench_kernels` for the schema).  ``time_tiles`` adds a
+    temporal-blocking sweep: for each ``k`` it times one
+    ``ScheduleOptions(time_tile=k)`` invocation (= ``k`` fused
+    applications), records per-application throughput and speedup over
+    the untiled run, and pairs each measurement with the analytic
+    :func:`repro.kernel.swept_cost` prediction.
     """
     import platform
     import sys
 
     from . import __version__
 
+    if calls < 1:
+        raise ValueError(
+            f"calls must be >= 1 (got {calls}): zero timed calls would "
+            "report seconds_per_call=inf"
+        )
+    time_tiles = tuple(int(k) for k in time_tiles)
+    if any(k < 2 for k in time_tiles):
+        raise ValueError(
+            f"time_tiles must all be >= 2, got {list(time_tiles)}"
+        )
     if isinstance(spec, str):
         spec = resolve_spec(spec)
     rng = np.random.default_rng(seed)
@@ -226,8 +253,60 @@ def run_bench(
                     timing["points_per_s"] = pps
                     timing["roofline_fraction"] = pps / roofline_pps
                 record["backends"][b] = timing
+            if time_tiles:
+                record["sweep"] = _sweep_time_tiles(
+                    stencil, backends, shapes, arrays, calls,
+                    points=points, record=record, spec=spec,
+                    working_set=working_set, time_tiles=time_tiles,
+                )
             doc["operators"][op_name] = record
     return doc
+
+
+def _sweep_time_tiles(
+    stencil: Stencil,
+    backends: Sequence[str],
+    shapes: Mapping[str, tuple[int, ...]],
+    arrays: Mapping[str, np.ndarray],
+    calls: int,
+    *,
+    points: int,
+    record: dict,
+    spec: MachineSpec,
+    working_set: int,
+    time_tiles: Sequence[int],
+) -> dict:
+    """Measure ``time_tile=k`` per-application throughput per backend.
+
+    One tiled call performs ``k`` applications, so per-application
+    throughput is ``points * k / seconds``.  Each measurement carries
+    the :func:`repro.kernel.swept_cost` prediction for a tile whose
+    working set is the whole grid (the sequential C default — no
+    spatial block, so residency is ``working_set <= cache``).
+    """
+    body, _ = body_for(stencil)
+    sweep: dict = {}
+    for b in backends:
+        base = record["backends"].get(b, {})
+        base_pps = base.get("points_per_s")
+        per_k: dict = {}
+        for k in time_tiles:
+            model = swept_cost(
+                body, stencil.output, k,
+                tile_bytes=working_set, cache_bytes=spec.cache_bytes,
+            )
+            timing = _time_backend(
+                stencil, b, shapes, arrays, calls, time_tile=k
+            )
+            if "seconds_per_call" in timing:
+                pps = points * k / timing["seconds_per_call"]
+                timing["points_per_s"] = pps
+                if base_pps:
+                    timing["speedup"] = pps / base_pps
+            timing["model"] = model.to_dict()
+            per_k[str(k)] = timing
+        sweep[b] = per_k
+    return sweep
 
 
 def write_bench_kernels(
@@ -268,4 +347,64 @@ def check_regression(
                     f"{(1 - new_pps / old_pps) * 100:.0f}% below the "
                     f"baseline {old_pps:.3e}"
                 )
+        for b, base_ks in base_rec.get("sweep", {}).items():
+            new_ks = new_rec.get("sweep", {}).get(b, {})
+            for k, base_timing in base_ks.items():
+                new_timing = new_ks.get(k)
+                if not new_timing or "points_per_s" not in new_timing:
+                    continue
+                if "points_per_s" not in base_timing:
+                    continue
+                old_pps = base_timing["points_per_s"]
+                new_pps = new_timing["points_per_s"]
+                if new_pps < old_pps * (1.0 - tolerance):
+                    problems.append(
+                        f"{op}/{b}[time_tile={k}]: {new_pps:.3e} "
+                        f"points/s is "
+                        f"{(1 - new_pps / old_pps) * 100:.0f}% below the "
+                        f"baseline {old_pps:.3e}"
+                    )
+    return problems
+
+
+def check_sweep_model(doc: dict) -> list[str]:
+    """Re-derive every swept-cost prediction in ``doc``; list any drift.
+
+    The recorded ``model`` blocks are analytic, so on a deterministic
+    spec (``paper-cpu``) they must be *bit-exact* reproducible from the
+    operator definitions — any mismatch means the cost model or the
+    operators changed without regenerating the baseline.  This is the
+    ``--check`` gate for the sweep half of the bench artifact.
+    """
+    problems: list[str] = []
+    n = doc.get("size")
+    cache_bytes = doc.get("spec", {}).get("cache_bytes")
+    if n is None or cache_bytes is None:
+        return ["document lacks size/spec.cache_bytes; cannot re-derive"]
+    operators = paper_operators(int(n))
+    for op, rec in doc.get("operators", {}).items():
+        sweep = rec.get("sweep")
+        if not sweep:
+            continue
+        stencil = operators.get(op)
+        if stencil is None:
+            problems.append(f"{op}: unknown operator, cannot re-derive")
+            continue
+        body, _ = body_for(stencil)
+        working_set = rec.get("working_set_bytes")
+        for b, per_k in sweep.items():
+            for k, timing in per_k.items():
+                recorded = timing.get("model")
+                if recorded is None:
+                    problems.append(f"{op}/{b}[time_tile={k}]: no model")
+                    continue
+                expected = swept_cost(
+                    body, stencil.output, int(k),
+                    tile_bytes=working_set, cache_bytes=cache_bytes,
+                ).to_dict()
+                if recorded != expected:
+                    problems.append(
+                        f"{op}/{b}[time_tile={k}]: recorded model "
+                        f"{recorded} != re-derived {expected}"
+                    )
     return problems

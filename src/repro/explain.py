@@ -37,7 +37,7 @@ from .analysis.dag import ExecutionPlan, plan
 from .analysis.dependence import intra_stencil_hazards
 from .backends.base import get_backend
 from .core.stencil import Stencil, StencilGroup
-from .kernel import kernel_cost
+from .kernel import body_for, kernel_cost, swept_cost
 from .schedule import Schedule, as_schedule, pop_schedule_spec
 from .telemetry import tracing
 
@@ -124,6 +124,10 @@ class GroupProvenance:
     #: the legality-checked schedule the backend executes; None only for
     #: user-registered backends that don't declare scheduling knobs
     schedule: Schedule | None = None
+    #: per-stencil swept-cost prediction (name ->
+    #: :meth:`repro.kernel.cost.SweptCost.to_dict`) when the schedule
+    #: carries a time tile; None otherwise
+    swept: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-able view (frozensets become sorted lists)."""
@@ -164,6 +168,7 @@ class GroupProvenance:
                 for b in self.barriers
             ],
             "artifact": self.artifact,
+            "swept": self.swept,
         }
 
     def render(self) -> str:
@@ -192,6 +197,16 @@ class GroupProvenance:
             lines.append("schedule:")
             for l in self.schedule.describe().splitlines():
                 lines.append("  " + l)
+        if self.swept is not None:
+            lines.append("")
+            lines.append("time-tile traffic prediction (cache-resident tiles):")
+            for name, sc in self.swept.items():
+                lines.append(
+                    f"  {name}: {sc['base_bytes_per_point']:g} -> "
+                    f"{sc['swept_bytes_per_point']:g} B/pt "
+                    f"(x{sc['traffic_reduction']:.2f} reduction at "
+                    f"k={sc['k']})"
+                )
         if self.artifact is not None:
             lines.append("")
             lines.append("artifact:")
@@ -257,6 +272,13 @@ def explain(
             BarrierProvenance(k, tuple(exec_plan.barrier_edges(k)))
             for k in range(exec_plan.n_barriers)
         )
+        swept: dict | None = None
+        if sched is not None and sched.time_tile is not None:
+            k = sched.time_tile.k
+            swept = {}
+            for st in group:
+                body, _ = body_for(st)
+                swept[st.name] = swept_cost(body, st.output, k).to_dict()
         artifact = be.artifact_info(group, shapes, dtype, **options)
     return GroupProvenance(
         group=group.name,
@@ -266,4 +288,5 @@ def explain(
         barriers=barriers,
         artifact=artifact,
         schedule=sched,
+        swept=swept,
     )

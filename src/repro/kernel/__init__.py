@@ -43,7 +43,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-from .cost import KernelCost, kernel_cost
+from .cost import KernelCost, SweptCost, kernel_cost, swept_cost
 from .eval import eval_point, eval_rect, eval_scalar_lets
 from .ir import (
     KAdd,
@@ -78,7 +78,9 @@ __all__ = [
     "optimize_kernel",
     "OptReport",
     "KernelCost",
+    "SweptCost",
     "kernel_cost",
+    "swept_cost",
     "eval_point",
     "eval_rect",
     "eval_scalar_lets",

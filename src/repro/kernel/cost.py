@@ -31,7 +31,14 @@ from .ir import KAdd, KDiv, KFma, KMul, KernelBody, walk
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.stencil import Stencil
 
-__all__ = ["KernelCost", "body_cost", "kernel_cost", "WORD_BYTES"]
+__all__ = [
+    "KernelCost",
+    "SweptCost",
+    "body_cost",
+    "kernel_cost",
+    "swept_cost",
+    "WORD_BYTES",
+]
 
 #: double precision word, the paper's convention.
 WORD_BYTES = 8.0
@@ -85,6 +92,72 @@ def body_cost(
         loads_per_point=len(body.loads()),
         bytes_per_point=traffic,
         write_allocate=write_allocate,
+    )
+
+
+@dataclass(frozen=True)
+class SweptCost:
+    """Predicted compulsory traffic of a time-tiled (swept) sweep.
+
+    Extends the single-sweep model to ``k`` fused applications: when
+    the spatial tile stays cache-resident across the time steps, each
+    distinct grid is read from DRAM once and the output written back
+    once *for all k applications*, so the per-application traffic
+    divides by ``~k``; a tile that overflows the cache round-trips the
+    grids every application and the fusion buys nothing.
+    """
+
+    k: int
+    base_bytes_per_point: float
+    swept_bytes_per_point: float
+    cache_resident: bool
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Predicted DRAM-traffic reduction factor (>= 1)."""
+        return self.base_bytes_per_point / self.swept_bytes_per_point
+
+    def to_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "base_bytes_per_point": self.base_bytes_per_point,
+            "swept_bytes_per_point": self.swept_bytes_per_point,
+            "cache_resident": self.cache_resident,
+            "traffic_reduction": self.traffic_reduction,
+        }
+
+
+def swept_cost(
+    body: KernelBody,
+    output: str,
+    k: int,
+    *,
+    tile_bytes: float | None = None,
+    cache_bytes: float | None = None,
+    write_allocate: bool = True,
+) -> SweptCost:
+    """Predict per-application traffic of a ``time_tile=k`` sweep.
+
+    ``tile_bytes`` is the working set of one spatial block (all grids
+    the block touches); ``cache_bytes`` the capacity it must fit in.
+    When either is unknown the tile is assumed resident — the
+    best-case (compulsory-only) convention the whole cost model uses.
+    """
+    if k < 1:
+        raise ValueError(f"time tile k must be >= 1, got {k!r}")
+    base = body_cost(body, output, write_allocate=write_allocate)
+    resident = True
+    if tile_bytes is not None and cache_bytes is not None:
+        resident = tile_bytes <= cache_bytes
+    if k == 1 or not resident:
+        swept = base.bytes_per_point
+    else:
+        swept = base.bytes_per_point / k
+    return SweptCost(
+        k=k,
+        base_bytes_per_point=base.bytes_per_point,
+        swept_bytes_per_point=swept,
+        cache_resident=resident,
     )
 
 

@@ -1,0 +1,80 @@
+"""The ``times``-aware execution entry point.
+
+``run(stencil_or_group, arrays, times=k)`` applies the whole program
+``k`` times — the operation a smoother loop performs — and picks the
+cheapest legal realization:
+
+* when the schedule proves the group time-tileable, the ``k``
+  applications are fused into **one** kernel invocation
+  (``ScheduleOptions(time_tile=k)``): one FFI round trip, and on the
+  wavefront path one cache-resident pass instead of ``k`` DRAM sweeps;
+* when time tiling is refused (snapshot-requiring step, unbounded
+  footprint such as periodic wrap-around reads) or the backend cannot
+  lower it (the GPU simulators), ``run`` transparently falls back to
+  ``k`` separate kernel calls — same bits either way, by construction.
+
+The refusal evidence is never swallowed: pass ``strict=True`` to get
+the ``ValueError`` with the ``Evidence("time-tile-refused", ...)``
+chain instead of the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .core.stencil import Stencil, StencilGroup
+
+__all__ = ["run"]
+
+
+def run(
+    program: "Stencil | StencilGroup",
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, float] | None = None,
+    *,
+    times: int = 1,
+    backend: str = "c",
+    strict: bool = False,
+    **options,
+):
+    """Apply ``program`` to ``arrays`` ``times`` times, in place.
+
+    ``options`` are the backend's scheduling knobs (``tile``, ``fuse``,
+    ``multicolor``, ...).  Returns the number of kernel invocations
+    performed (1 when the time tile landed, ``times`` on fallback) so
+    callers and tests can observe which path ran.
+    """
+    times = int(times)
+    if times < 1:
+        raise ValueError(f"times must be >= 1, got {times!r}")
+    if isinstance(program, Stencil):
+        program = StencilGroup([program], name=program.name)
+    params = dict(params or {})
+    shapes = {g: np.asarray(a).shape for g, a in arrays.items()}
+    dtype = np.asarray(next(iter(arrays.values()))).dtype
+
+    if times > 1:
+        try:
+            # shapes= makes specialization eager, so a time-tile
+            # refusal (ValueError with evidence) or a backend that
+            # cannot lower it (NotImplementedError, or TypeError for
+            # one without the knob) surfaces here, before any grid is
+            # touched.
+            kernel = program.compile(
+                backend=backend, shapes=shapes, dtype=dtype,
+                time_tile=times, **options,
+            )
+        except (ValueError, NotImplementedError, TypeError):
+            if strict:
+                raise
+        else:
+            kernel(**arrays, **params)
+            return 1
+    kernel = program.compile(
+        backend=backend, shapes=shapes, dtype=dtype, **options
+    )
+    for _ in range(times):
+        kernel(**arrays, **params)
+    return times

@@ -32,6 +32,7 @@ __all__ = [
     "ParityClass",
     "detect_parity_class",
     "Evidence",
+    "TimeTile",
     "Step",
     "SchedulePhase",
     "Schedule",
@@ -121,6 +122,47 @@ class Evidence:
 
 
 @dataclass(frozen=True)
+class TimeTile:
+    """The schedule's temporal-blocking dimension (ROADMAP item 1).
+
+    ``k`` successive applications of the whole group are fused into one
+    kernel invocation.  ``kind`` selects the loop structure the CPU
+    emitters lower it to:
+
+    * ``"wavefront"`` — a single-step schedule whose cross-application
+      RAW footprint has halo ``slope`` (proved by the dependence
+      lattices): the spatial domain is cut into blocks along the
+      outermost free dimension and each block runs all ``k``
+      applications before the next block starts — the skewed
+      (parallelogram) time tile.  With ``slope == 0`` blocks are fully
+      independent, so the OpenMP target runs them as concurrent tasks.
+    * ``"fused"`` — multi-step schedules: one outer time loop around
+      the whole phase sequence (barriers intact per application).
+      Traffic reduction then comes from whole-grid cache residency.
+
+    ``slope`` is the wavefront skew per application (the maximal
+    cross-application RAW halo).  Evidence carries the per-step
+    Diophantine facts that legalize the fusion.
+    """
+
+    k: int
+    kind: str  # "wavefront" | "fused"
+    slope: int = 0
+    evidence: tuple[Evidence, ...] = ()
+
+    def describe(self) -> str:
+        return f"time tile: k={self.k} kind={self.kind} slope={self.slope}"
+
+    def to_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "kind": self.kind,
+            "slope": self.slope,
+            "evidence": [str(e) for e in self.evidence],
+        }
+
+
+@dataclass(frozen=True)
 class Step:
     """One loop nest / kernel launch: a fused chain or a singleton.
 
@@ -174,6 +216,8 @@ class Schedule:
     options: ScheduleOptions
     plan: ExecutionPlan
     phases: tuple[SchedulePhase, ...] = field(default_factory=tuple)
+    #: temporal-blocking decision; ``None`` means one sweep per call
+    time_tile: "TimeTile | None" = None
 
     def steps(self) -> Iterator[Step]:
         for ph in self.phases:
@@ -203,6 +247,10 @@ class Schedule:
             f"{len(self.group)} stencil(s), {len(self.phases)} phase(s), "
             f"{self.n_steps} step(s) [{self.options.describe()}]"
         ]
+        if self.time_tile is not None:
+            lines.append(self.time_tile.describe())
+            for ev in self.time_tile.evidence:
+                lines.append(f"  - {ev}")
         for ph in self.phases:
             lines.append(f"phase {ph.index}:")
             for s in ph.steps:
@@ -227,6 +275,9 @@ class Schedule:
         return {
             "group": self.group.name,
             "options": self.options.to_dict(),
+            "time_tile": (
+                None if self.time_tile is None else self.time_tile.to_dict()
+            ),
             "phases": [
                 {
                     "index": ph.index,

@@ -16,19 +16,30 @@ Phase-local chains make that impossible by construction.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import replace
 from typing import Mapping, Sequence
 
 from ..analysis.dag import plan
 from ..analysis.dependence import group_dependences, intra_stencil_hazards
+from ..analysis.footprint import map_lattice
 from ..core.stencil import StencilGroup
 from ..core.validate import iteration_shape
 from ..telemetry import tracing
-from .ir import Evidence, ParityClass, Schedule, SchedulePhase, Step, detect_parity_class
+from .ir import (
+    Evidence,
+    ParityClass,
+    Schedule,
+    SchedulePhase,
+    Step,
+    TimeTile,
+    detect_parity_class,
+)
 from .options import ScheduleOptions
 
 __all__ = [
     "fusion_chains",
+    "time_tile_verdict",
     "build_schedule",
     "schedule_for",
     "as_schedule",
@@ -91,6 +102,189 @@ def fusion_chains(
     return chains
 
 
+def time_tile_verdict(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    steps: Sequence[Step],
+) -> tuple[int, list[Evidence], list[Evidence]]:
+    """Decide whether ``k`` successive group applications may be fused.
+
+    Returns ``(slope, evidence, refusals)``.  The schedule is
+    time-tileable iff ``refusals`` is empty; ``slope`` is then the
+    maximal cross-application RAW halo (the wavefront skew per
+    application) and ``evidence`` carries the per-step Diophantine
+    facts.
+
+    A step is time-tileable iff
+
+    * it needs no gather snapshot (a snapshot per application would
+      have to be re-taken inside the tile — the transform's whole point
+      is to *not* round-trip the grid per application);
+    * its output map is the identity scale (a scaled write footprint
+      moves per application, so the halo is unbounded);
+    * every read of a grid written by the schedule is an identity-scale
+      read whose offset stays a *bounded halo* — at most half the grid
+      extent per dimension.  Whole-grid wrap-around reads (periodic
+      boundaries) are refused: their footprint spans the domain, so no
+      cache-sized tile covers the dependence.
+
+    The halo a read contributes is refined by the same lattice
+    arithmetic the snapshot analysis uses: a read whose lattice never
+    meets the writer's lattice (e.g. the red half-sweep reading its
+    *black* neighbours) carries no cross-application dependence and
+    contributes slope 0.
+    """
+    written: dict[str, list[int]] = {}
+    for step in steps:
+        for i in step.stencils:
+            written.setdefault(group[i].output, []).append(i)
+    write_lattices: dict[int, list] = {}
+    for idxs in written.values():
+        for j in idxs:
+            st = group[j]
+            it_shape = iteration_shape(st, shapes)
+            rects = [
+                r for r in st.domain.resolve(it_shape) if not r.is_empty()
+            ]
+            om = st.output_map
+            write_lattices[j] = [
+                map_lattice(r, om.scale, om.offset) for r in rects
+            ]
+
+    slope = 0
+    evidence: list[Evidence] = []
+    refusals: list[Evidence] = []
+    for step in steps:
+        names = ", ".join(group[i].name for i in step.stencils)
+        if step.snapshot:
+            refusals.append(
+                Evidence(
+                    "time-tile-refused",
+                    f"step [{names}] requires a gather snapshot each "
+                    "application (loop-carried hazard); a time tile "
+                    "cannot re-snapshot mid-wavefront",
+                )
+            )
+            continue
+        step_halo = 0
+        for i in step.stencils:
+            st = group[i]
+            if any(s != 1 for s in st.output_map.scale):
+                refusals.append(
+                    Evidence(
+                        "time-tile-refused",
+                        f"step [{names}] writes through scaled output "
+                        f"map {st.output_map.signature()}: the write "
+                        "footprint moves per application (unbounded "
+                        "halo)",
+                    )
+                )
+                continue
+            it_shape = iteration_shape(st, shapes)
+            rects = [
+                r for r in st.domain.resolve(it_shape) if not r.is_empty()
+            ]
+            for read in st.flat.reads():
+                if read.grid not in written:
+                    continue
+                if any(s != 1 for s in read.scale):
+                    refusals.append(
+                        Evidence(
+                            "time-tile-refused",
+                            f"step [{names}] reads written grid "
+                            f"{read.grid!r} through scaled map "
+                            f"{read.signature()}: footprint is not a "
+                            "bounded halo",
+                        )
+                    )
+                    continue
+                halo = max((abs(o) for o in read.offset), default=0)
+                limit = min(
+                    x // 2 for x in shapes[read.grid]
+                )
+                if halo > limit:
+                    refusals.append(
+                        Evidence(
+                            "time-tile-refused",
+                            f"step [{names}] reads {read.grid!r} at "
+                            f"offset {list(read.offset)} — beyond half "
+                            "the grid extent, an unbounded (wrap-"
+                            "around) footprint, not a halo",
+                        )
+                    )
+                    continue
+                if halo == 0:
+                    continue  # centre read: per-point recurrence
+                # Lattice refinement: does this read ever touch cells
+                # another schedule member writes?  (Reads of the *own*
+                # stencil's writes are diagonal-only — proven by the
+                # snapshot analysis, or the step would carry one.)
+                carried = False
+                for j in written[read.grid]:
+                    if j == i:
+                        continue
+                    rl = [
+                        map_lattice(r, read.scale, read.offset)
+                        for r in rects
+                    ]
+                    if any(
+                        a.intersects(b)
+                        for a in rl
+                        for b in write_lattices[j]
+                    ):
+                        carried = True
+                        break
+                if carried:
+                    step_halo = max(step_halo, halo)
+        slope = max(slope, step_halo)
+        evidence.append(
+            Evidence(
+                "time-tile",
+                f"step [{names}]: snapshot-free, RAW footprint per "
+                f"application is a bounded halo (radius {step_halo})",
+            )
+        )
+    return slope, evidence, refusals
+
+
+def _plan_time_tile(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    phases: Sequence[SchedulePhase],
+    k: int,
+) -> TimeTile:
+    """Legalize ``time_tile=k`` over the lowered phases, or raise."""
+    steps = [s for ph in phases for s in ph.steps]
+    slope, evidence, refusals = time_tile_verdict(group, shapes, steps)
+    if refusals:
+        detail = "; ".join(e.basis for e in refusals)
+        raise ValueError(
+            f"time_tile={k} is not legal for group {group.name!r}: {detail}"
+        )
+    if len(steps) == 1 and slope == 0:
+        kind = "wavefront"
+        evidence = evidence + [
+            Evidence(
+                "time-tile",
+                f"single step with slope 0: spatial blocks are "
+                f"independent across all {k} applications — blocked "
+                "wavefront nest, tasks may run blocks concurrently",
+            )
+        ]
+    else:
+        kind = "fused"
+        evidence = evidence + [
+            Evidence(
+                "time-tile",
+                f"{len(steps)} step(s), cross-application halo "
+                f"{slope}: fused outer time loop (barriers intact per "
+                "application); traffic reduction from whole-grid cache "
+                "residency",
+            )
+        ]
+    return TimeTile(k=k, kind=kind, slope=slope, evidence=tuple(evidence))
+
+
 def build_schedule(
     group: StencilGroup,
     shapes: Mapping[str, Sequence[int]],
@@ -132,7 +326,14 @@ def build_schedule(
                 emitted.update(chain)
                 steps.append(_make_step(group, norm, chain, hazards, options))
             phases.append(SchedulePhase(pi, tuple(steps)))
-    return Schedule(group, norm, options, exec_plan, tuple(phases))
+        time_tile = (
+            _plan_time_tile(group, norm, phases, options.time_tile)
+            if options.time_tile > 1
+            else None
+        )
+    return Schedule(
+        group, norm, options, exec_plan, tuple(phases), time_tile
+    )
 
 
 def _make_step(group, shapes, chain, hazards, options) -> Step:
@@ -199,9 +400,11 @@ def _make_step(group, shapes, chain, hazards, options) -> Step:
 # memoized construction + option resolution (the backends' entry points)
 # ---------------------------------------------------------------------------
 
-_CACHE: dict[tuple, Schedule] = {}
+_CACHE: OrderedDict[tuple, Schedule] = OrderedDict()
 _CACHE_LOCK = threading.Lock()
 _CACHE_CAP = 128
+#: per-key build locks so concurrent misses on the *same* key build once
+_BUILDING: dict[tuple, threading.Lock] = {}
 
 
 def schedule_for(
@@ -209,19 +412,39 @@ def schedule_for(
     shapes: Mapping[str, Sequence[int]],
     options: ScheduleOptions | None = None,
 ) -> Schedule:
-    """Memoized :func:`build_schedule` (keyed on signature/shapes/options)."""
+    """Memoized :func:`build_schedule` (keyed on signature/shapes/options).
+
+    The memo is a true LRU: a hit refreshes the entry's recency, so hot
+    schedules survive eviction while cold ones age out.  Concurrent
+    misses on the same key serialize on a per-key build lock (one build,
+    everyone else waits for the memo), while builds for *different* keys
+    still proceed in parallel.
+    """
     options = options or ScheduleOptions()
     norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
     key = (group.signature(), tuple(sorted(norm.items())), options)
     with _CACHE_LOCK:
         sched = _CACHE.get(key)
-    if sched is not None:
-        return sched
-    sched = build_schedule(group, norm, options)
-    with _CACHE_LOCK:
-        if len(_CACHE) >= _CACHE_CAP:
-            _CACHE.pop(next(iter(_CACHE)))
-        _CACHE[key] = sched
+        if sched is not None:
+            _CACHE.move_to_end(key)
+            return sched
+        build_lock = _BUILDING.setdefault(key, threading.Lock())
+    with build_lock:
+        # re-check: another thread may have finished the build while we
+        # waited on its lock
+        with _CACHE_LOCK:
+            sched = _CACHE.get(key)
+            if sched is not None:
+                _CACHE.move_to_end(key)
+                _BUILDING.pop(key, None)
+                return sched
+        sched = build_schedule(group, norm, options)
+        with _CACHE_LOCK:
+            _CACHE[key] = sched
+            _CACHE.move_to_end(key)
+            while len(_CACHE) > _CACHE_CAP:
+                _CACHE.popitem(last=False)
+            _BUILDING.pop(key, None)
     return sched
 
 

@@ -38,6 +38,14 @@ class ScheduleOptions:
     ``block``
         2-D thread-block shape for the CUDA target (``None`` keeps the
         backend default).
+    ``time_tile``
+        Temporal blocking: fuse this many successive applications of
+        the whole group into one kernel invocation (one wavefront /
+        fused time tile).  ``1`` (the default) is a single sweep;
+        ``k > 1`` is only legal when every step's cross-application
+        footprint is a bounded halo and no step needs a gather
+        snapshot — :func:`~repro.schedule.build_schedule` refuses
+        otherwise, with evidence.
     """
 
     policy: str = "greedy"
@@ -45,6 +53,7 @@ class ScheduleOptions:
     multicolor: bool = True
     tile: int | None = None
     block: tuple[int, int] | None = None
+    time_tile: int = 1
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -66,6 +75,12 @@ class ScheduleOptions:
                     f"block must be a pair of positive ints, got {self.block!r}"
                 )
             object.__setattr__(self, "block", b)
+        k = int(self.time_tile)
+        if k < 1:
+            raise ValueError(
+                f"time_tile must be a positive int, got {self.time_tile!r}"
+            )
+        object.__setattr__(self, "time_tile", k)
 
     def to_dict(self) -> dict:
         return {
@@ -74,6 +89,7 @@ class ScheduleOptions:
             "multicolor": self.multicolor,
             "tile": self.tile,
             "block": list(self.block) if self.block is not None else None,
+            "time_tile": self.time_tile,
         }
 
     def describe(self) -> str:
@@ -84,6 +100,8 @@ class ScheduleOptions:
             parts.append(f"tile={self.tile}")
         if self.block is not None:
             parts.append(f"block={self.block[0]}x{self.block[1]}")
+        if self.time_tile > 1:
+            parts.append(f"time_tile={self.time_tile}")
         return " ".join(parts)
 
 

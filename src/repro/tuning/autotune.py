@@ -48,10 +48,15 @@ class ScheduleTuneResult:
     timings: tuple  # ((ScheduleOptions, seconds), ...) in candidate order
 
     def best_time(self) -> float:
-        return dict(self.timings)[self.best]
+        # The candidate list may contain duplicates (a caller-built grid
+        # that repeats an option); collapsing through dict() would keep
+        # the *last* duplicate's time, not the winning one.
+        return min(t for o, t in self.timings if o == self.best)
 
     def speedup_over_worst(self) -> float:
-        times = [t for _, t in self.timings]
+        # Refused candidates are recorded as inf; compare against the
+        # slowest candidate that actually ran.
+        times = [t for _, t in self.timings if t != float("inf")]
         return max(times) / self.best_time()
 
 
@@ -60,11 +65,21 @@ def default_schedule_candidates(
     *,
     base: ScheduleOptions | None = None,
     fuse: Sequence[bool] = (False,),
+    time_tiles: Sequence[int] = (1,),
 ) -> list[ScheduleOptions]:
-    """The standard search grid: every tile size × fusion on/off."""
+    """The standard search grid: tile size × fusion × time-tile depth.
+
+    ``time_tiles`` beyond the default ``(1,)`` add temporal blocking to
+    the grid; a depth the group cannot legally tile is skipped by
+    :func:`autotune_schedule` (the refusal is recorded as an infinite
+    time, so it can never win).
+    """
     base = base or ScheduleOptions()
     return [
-        replace(base, tile=int(t), fuse=f) for f in fuse for t in tiles
+        replace(base, tile=int(t), fuse=f, time_tile=int(k))
+        for k in time_tiles
+        for f in fuse
+        for t in tiles
     ]
 
 
@@ -93,11 +108,20 @@ def autotune_schedule(
         candidates = default_schedule_candidates()
     timings: list[tuple[ScheduleOptions, float]] = []
     for opts in candidates:
-        sched = schedule_for(group, shapes, opts)
-        kernel = group.compile(
-            backend=backend, shapes=shapes, schedule=sched,
-            **backend_options,
-        )
+        try:
+            sched = schedule_for(group, shapes, opts)
+            kernel = group.compile(
+                backend=backend, shapes=shapes, schedule=sched,
+                **backend_options,
+            )
+        except (ValueError, NotImplementedError):
+            if opts.time_tile <= 1:
+                raise
+            # Time-tile refusal (or a backend that cannot lower it) is
+            # a legal search outcome, not an error: record it as
+            # infinitely slow so it can never win.
+            timings.append((opts, float("inf")))
+            continue
         timings.append(
             (
                 opts,
@@ -123,10 +147,13 @@ def autotune_tile(
 ) -> TuneResult:
     """Historical tile-only tuning surface over :func:`autotune_schedule`.
 
-    Legacy scheduling kwargs (``multicolor=False``, ``fuse=True``,
-    ``schedule="wavefront"``) become fields of the base
+    Scheduling kwargs the legacy surface accepted (``schedule=``,
+    ``fuse=``, ``multicolor=``, ``block=``) become fields of the base
     :class:`ScheduleOptions`; anything else passes through to the
-    backend.
+    backend.  When not given they keep the legacy resolved defaults —
+    the :class:`ScheduleOptions` defaults the backends always applied:
+    ``policy="greedy"``, ``fuse=False``, ``multicolor=True``,
+    ``block=None`` (pinned by a regression test).
     """
     base = ScheduleOptions(
         policy=backend_options.pop("schedule", "greedy"),

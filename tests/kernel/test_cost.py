@@ -6,7 +6,7 @@ from repro.bench import operator_cost, paper_operators
 from repro.core.domains import RectDomain
 from repro.core.expr import GridRead
 from repro.core.stencil import Stencil
-from repro.kernel import kernel_cost
+from repro.kernel import body_for, kernel_cost, swept_cost
 from repro.kernel.cost import WORD_BYTES
 from repro.machine.roofline import PAPER_BYTES_PER_STENCIL, bytes_per_point
 
@@ -69,6 +69,54 @@ def test_inplace_stencil_pays_no_write_allocate():
     )
     cost = kernel_cost(s)
     assert cost.bytes_per_point == 2 * WORD_BYTES  # read x + write x
+
+
+def test_swept_cost_divides_resident_traffic_by_k(operators):
+    for name, st in operators.items():
+        body, _ = body_for(st)
+        sc = swept_cost(body, st.output, 4)
+        base = PAPER_BYTES_PER_STENCIL[name]
+        assert sc.base_bytes_per_point == base
+        assert sc.swept_bytes_per_point == base / 4
+        assert sc.traffic_reduction == pytest.approx(4.0)
+        assert sc.cache_resident
+
+
+def test_swept_cost_overflowing_tile_buys_nothing(operators):
+    st = operators["cc_jacobi"]
+    body, _ = body_for(st)
+    sc = swept_cost(body, st.output, 4, tile_bytes=1e9, cache_bytes=8e6)
+    assert not sc.cache_resident
+    assert sc.swept_bytes_per_point == sc.base_bytes_per_point
+    assert sc.traffic_reduction == 1.0
+
+
+def test_swept_cost_k_one_is_the_base_model(operators):
+    st = operators["cc_7pt"]
+    body, _ = body_for(st)
+    sc = swept_cost(body, st.output, 1)
+    assert sc.swept_bytes_per_point == kernel_cost(st).bytes_per_point
+
+
+def test_swept_cost_rejects_bad_k(operators):
+    st = operators["cc_7pt"]
+    body, _ = body_for(st)
+    with pytest.raises(ValueError, match="k must be >= 1"):
+        swept_cost(body, st.output, 0)
+
+
+def test_swept_cost_to_dict(operators):
+    st = operators["vc_gsrb"]
+    body, _ = body_for(st)
+    d = swept_cost(body, st.output, 2).to_dict()
+    for key in (
+        "k",
+        "base_bytes_per_point",
+        "swept_bytes_per_point",
+        "cache_resident",
+        "traffic_reduction",
+    ):
+        assert key in d
 
 
 def test_cost_to_dict_round_trip(operators):

@@ -1,0 +1,97 @@
+"""The ``schedule_for`` memo: LRU recency and build-once concurrency."""
+
+import threading
+import time
+
+import pytest
+
+from repro.schedule import ScheduleOptions, schedule_for
+from repro.schedule import lower
+from tests.schedule._cases import laplacian_pair
+
+
+@pytest.fixture
+def counted_builds(monkeypatch):
+    """Fresh memo + a counter on the underlying build_schedule."""
+    monkeypatch.setattr(lower, "_CACHE", type(lower._CACHE)())
+    monkeypatch.setattr(lower, "_BUILDING", {})
+    calls = []
+    real = lower.build_schedule
+
+    def counting(group, shapes, options=None):
+        calls.append(options)
+        time.sleep(0.02)  # widen the race window
+        return real(group, shapes, options)
+
+    monkeypatch.setattr(lower, "build_schedule", counting)
+    return calls
+
+
+class TestLRU:
+    def test_hit_refreshes_recency(self, counted_builds, monkeypatch):
+        monkeypatch.setattr(lower, "_CACHE_CAP", 3)
+        group, shapes = laplacian_pair()
+        opts = [ScheduleOptions(tile=t) for t in (2, 3, 4, 5)]
+        for o in opts[:3]:
+            schedule_for(group, shapes, o)  # fill to cap: [2, 3, 4]
+        schedule_for(group, shapes, opts[0])  # touch 2 -> [3, 4, 2]
+        schedule_for(group, shapes, opts[3])  # insert 5, evict 3
+        assert len(counted_builds) == 4
+        schedule_for(group, shapes, opts[0])  # still memoized
+        assert len(counted_builds) == 4
+        schedule_for(group, shapes, opts[1])  # 3 was evicted: rebuild
+        assert len(counted_builds) == 5
+
+    def test_fifo_would_have_evicted_the_hot_entry(
+        self, counted_builds, monkeypatch
+    ):
+        # The regression the LRU fix pins: under FIFO the oldest-inserted
+        # entry dies even while hot.
+        monkeypatch.setattr(lower, "_CACHE_CAP", 2)
+        group, shapes = laplacian_pair()
+        hot = ScheduleOptions(tile=2)
+        schedule_for(group, shapes, hot)
+        for t in (3, 4, 5):
+            schedule_for(group, shapes, hot)  # keep it hot
+            schedule_for(group, shapes, ScheduleOptions(tile=t))
+        n = len(counted_builds)
+        schedule_for(group, shapes, hot)
+        assert len(counted_builds) == n  # survived every eviction round
+
+
+class TestBuildOnce:
+    def test_concurrent_misses_build_once(self, counted_builds):
+        group, shapes = laplacian_pair()
+        opts = ScheduleOptions(tile=8)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(schedule_for(group, shapes, opts))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(counted_builds) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_distinct_keys_each_build_once(self, counted_builds):
+        group, shapes = laplacian_pair()
+        all_opts = [ScheduleOptions(tile=t) for t in (2, 4)] * 4
+        barrier = threading.Barrier(len(all_opts))
+
+        def worker(o):
+            barrier.wait()
+            schedule_for(group, shapes, o)
+
+        threads = [
+            threading.Thread(target=worker, args=(o,)) for o in all_opts
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(counted_builds) == 2

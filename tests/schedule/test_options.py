@@ -20,6 +20,18 @@ class TestScheduleOptions:
         assert o.multicolor is True
         assert o.tile is None
         assert o.block is None
+        assert o.time_tile == 1
+
+    @pytest.mark.parametrize("time_tile", [0, -3, "deep"])
+    def test_bad_time_tile_rejected(self, time_tile):
+        with pytest.raises(ValueError):
+            ScheduleOptions(time_tile=time_tile)
+
+    def test_time_tile_in_describe_and_dict(self):
+        o = ScheduleOptions(time_tile=4)
+        assert "time_tile=4" in o.describe()
+        assert o.to_dict()["time_tile"] == 4
+        assert "time_tile" not in ScheduleOptions().describe()
 
     @pytest.mark.parametrize("policy", POLICIES)
     def test_valid_policies(self, policy):

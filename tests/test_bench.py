@@ -8,6 +8,7 @@ import pytest
 from repro.bench import (
     BENCH_KERNELS_SCHEMA,
     check_regression,
+    check_sweep_model,
     paper_operators,
     resolve_spec,
     run_bench,
@@ -98,3 +99,63 @@ class TestCheckRegression:
             "error": "CompilerNotFound: no cc"
         }
         assert check_regression(partial, doc) == []
+
+
+class TestCallsValidation:
+    def test_zero_calls_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="calls must be >= 1"):
+            run_bench(n=8, backends=("numpy",), calls=0)
+
+    def test_negative_calls_rejected(self):
+        with pytest.raises(ValueError, match="calls must be >= 1"):
+            run_bench(n=8, backends=("numpy",), calls=-2)
+
+    def test_time_tile_of_one_rejected(self):
+        with pytest.raises(ValueError, match="time_tiles"):
+            run_bench(n=8, backends=("numpy",), calls=1, time_tiles=(1,))
+
+
+@pytest.fixture(scope="module")
+def sweep_doc():
+    return run_bench(
+        n=8, backends=("numpy",), spec="paper-cpu", calls=1,
+        time_tiles=(2, 4),
+    )
+
+
+class TestTimeTileSweep:
+    def test_sweep_records_per_application_throughput(self, sweep_doc):
+        for op, rec in sweep_doc["operators"].items():
+            per_k = rec["sweep"]["numpy"]
+            assert set(per_k) == {"2", "4"}
+            for k, t in per_k.items():
+                assert t["points_per_s"] > 0
+                assert t["speedup"] > 0
+                model = t["model"]
+                assert model["k"] == int(k)
+                assert model["cache_resident"] is True
+                assert model["traffic_reduction"] == pytest.approx(int(k))
+
+    def test_sweep_model_check_passes_on_fresh_doc(self, sweep_doc):
+        assert check_sweep_model(sweep_doc) == []
+
+    def test_sweep_model_check_flags_tampering(self, sweep_doc):
+        bad = copy.deepcopy(sweep_doc)
+        rec = bad["operators"]["cc_7pt"]["sweep"]["numpy"]["2"]
+        rec["model"]["traffic_reduction"] = 17.0
+        problems = check_sweep_model(bad)
+        assert len(problems) == 1
+        assert "cc_7pt" in problems[0]
+
+    def test_sweep_regression_gated(self, sweep_doc):
+        slow = copy.deepcopy(sweep_doc)
+        t = slow["operators"]["vc_gsrb"]["sweep"]["numpy"]["4"]
+        t["points_per_s"] *= 0.5
+        problems = check_regression(slow, sweep_doc, tolerance=0.25)
+        assert len(problems) == 1
+        assert "vc_gsrb/numpy[time_tile=4]" in problems[0]
+
+    def test_untiled_doc_has_no_sweep_key(self, doc):
+        for rec in doc["operators"].values():
+            assert "sweep" not in rec
+        assert check_sweep_model(doc) == []

@@ -1,0 +1,60 @@
+"""The ``times``-aware :func:`repro.run` entry point."""
+
+import numpy as np
+import pytest
+
+from repro import run
+from tests.schedule.test_time_tile import (
+    gsrb_case,
+    jacobi_case,
+    periodic_case,
+)
+
+
+class TestRun:
+    def test_time_tile_lands_in_one_invocation(self):
+        group, shapes, arrays = gsrb_case()
+        tiled = {g: a.copy() for g, a in arrays.items()}
+        assert run(group, tiled, times=4, backend="numpy") == 1
+        ref = {g: a.copy() for g, a in arrays.items()}
+        kernel = group.compile(
+            backend="numpy", shapes=shapes, dtype=np.float64
+        )
+        for _ in range(4):
+            kernel(**ref)
+        for g in sorted(shapes):
+            np.testing.assert_array_equal(tiled[g], ref[g])
+
+    def test_refused_group_falls_back_to_k_calls(self):
+        group, shapes = periodic_case()
+        rng = np.random.default_rng(0)
+        arrays = {g: rng.standard_normal(shapes[g]) for g in shapes}
+        assert run(group, arrays, times=3, backend="numpy") == 3
+
+    def test_strict_surfaces_the_refusal(self):
+        group, shapes = periodic_case()
+        rng = np.random.default_rng(0)
+        arrays = {g: rng.standard_normal(shapes[g]) for g in shapes}
+        with pytest.raises(ValueError, match="not legal"):
+            run(group, arrays, times=3, backend="numpy", strict=True)
+
+    def test_gpu_sim_falls_back(self):
+        group, shapes, arrays = jacobi_case()
+        work = {g: a.copy() for g, a in arrays.items()}
+        assert run(group, work, times=2, backend="cuda-sim") == 2
+
+    def test_times_one_is_a_plain_call(self):
+        group, _, arrays = jacobi_case()
+        work = {g: a.copy() for g, a in arrays.items()}
+        assert run(group, work, times=1, backend="numpy") == 1
+
+    def test_bad_times_rejected(self):
+        group, _, arrays = jacobi_case()
+        with pytest.raises(ValueError, match="times"):
+            run(group, arrays, times=0, backend="numpy")
+
+    def test_accepts_bare_stencil(self):
+        group, _, arrays = jacobi_case()
+        (stencil,) = tuple(group)
+        work = {g: a.copy() for g, a in arrays.items()}
+        assert run(stencil, work, times=2, backend="numpy") == 1

@@ -7,7 +7,13 @@ from repro.core.components import Component
 from repro.core.domains import RectDomain
 from repro.core.stencil import Stencil, StencilGroup
 from repro.core.weights import WeightArray
+from repro.schedule import ScheduleOptions
 from repro.tuning import TuneResult, autotune_tile
+from repro.tuning.autotune import (
+    ScheduleTuneResult,
+    autotune_schedule,
+    default_schedule_candidates,
+)
 
 LAP = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
 
@@ -43,3 +49,67 @@ class TestAutotune:
             multicolor=False,
         )
         assert res.best_tile == 8
+
+    def test_legacy_resolved_defaults_pinned(self, monkeypatch):
+        # autotune_tile's base options must stay the ScheduleOptions
+        # defaults the seed-era surface always applied (the docstring
+        # once claimed multicolor=False/fuse=True — they never were).
+        captured = {}
+
+        def capture(group, arrays, params=None, *, candidates, **kw):
+            captured["candidates"] = candidates
+            return ScheduleTuneResult(
+                candidates[0], tuple((c, 1.0) for c in candidates)
+            )
+
+        import repro.tuning.autotune as mod
+
+        monkeypatch.setattr(mod, "autotune_schedule", capture)
+        group, arrays = make_case(16)
+        autotune_tile(group, arrays, candidates=(4, 8), repeats=1)
+        for opts in captured["candidates"]:
+            assert opts.policy == "greedy"
+            assert opts.fuse is False
+            assert opts.multicolor is True
+            assert opts.block is None
+        assert [o.tile for o in captured["candidates"]] == [4, 8]
+
+
+class TestScheduleTuneResult:
+    def test_best_time_with_duplicated_candidates(self):
+        # dict() collapse kept the *last* duplicate's time, reporting
+        # 2.0 for a candidate that actually won at 1.0.
+        o1, o2 = ScheduleOptions(tile=4), ScheduleOptions(tile=8)
+        res = ScheduleTuneResult(
+            best=o1, timings=((o1, 1.0), (o2, 3.0), (o1, 2.0))
+        )
+        assert res.best_time() == 1.0
+        assert res.speedup_over_worst() == 3.0
+
+
+class TestTimeTileCandidates:
+    def test_grid_includes_time_tiles(self):
+        cands = default_schedule_candidates(
+            tiles=(4, 8), time_tiles=(1, 2)
+        )
+        assert len(cands) == 4
+        assert {c.time_tile for c in cands} == {1, 2}
+
+    def test_refused_time_tile_recorded_as_inf(self):
+        from repro.hpgmg.operators import periodic_boundary_stencils
+
+        n = 8
+        group = StencilGroup(
+            periodic_boundary_stencils(2, n, grid="x"), name="periodic"
+        )
+        rng = np.random.default_rng(0)
+        arrays = {"x": rng.standard_normal((n + 2, n + 2))}
+        legal = ScheduleOptions()
+        refused = ScheduleOptions(time_tile=2)
+        res = autotune_schedule(
+            group, arrays, backend="numpy",
+            candidates=[legal, refused], repeats=1,
+        )
+        assert res.best == legal
+        assert dict(res.timings)[refused] == float("inf")
+        assert res.best_time() < float("inf")
