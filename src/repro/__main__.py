@@ -8,7 +8,12 @@ Commands:
                   (exit 0 healthy, 1 degraded, 2 unusable)
 * ``stats``     — run a smoke kernel through the instrumented pipeline
                   and print the telemetry report (``--json`` writes the
-                  ``BENCH_pipeline.json`` perf-trajectory artifact)
+                  ``BENCH_pipeline.json`` perf-trajectory artifact;
+                  ``--openmetrics`` prints OpenMetrics exposition text)
+* ``serve-metrics`` — serve ``/metrics`` (OpenMetrics), ``/events``
+                  and ``/healthz`` over stdlib HTTP, foreground
+* ``top``       — profile a GSRB workload with the sampling
+                  self-profiler and print the hottest spans
 * ``trace``     — run a traced workload spanning frontend, analysis,
                   JIT, kernel, resilience and dmem, and export a Chrome
                   trace-event JSON viewable in Perfetto (``--smoke``
@@ -119,12 +124,96 @@ def cmd_stats(args) -> int:
     for _ in range(int(args.calls)):
         kernel(u=u, out=out)
     serving = getattr(kernel, "serving_backend", args.backend)
-    print(f"smoke kernel: {n}x{n} laplacian, served by {serving!r}")
-    print()
-    print(telemetry.render_stats())
+    if args.openmetrics:
+        # machine surface: nothing but the exposition text on stdout
+        sys.stdout.write(telemetry.render_openmetrics())
+    else:
+        print(f"smoke kernel: {n}x{n} laplacian, served by {serving!r}")
+        print()
+        print(telemetry.render_stats())
     if args.json:
         path = telemetry.export_bench_json(args.json)
-        print(f"\nwrote {path}")
+        if args.openmetrics:  # keep stdout pure exposition text
+            print(f"wrote {path}", file=sys.stderr)
+        else:
+            print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    """Serve the OpenMetrics endpoint over stdlib HTTP, foreground.
+
+    Runs the same smoke workload as ``stats`` first (so a fresh process
+    scrapes non-empty families), prints the URL, then blocks serving
+    ``/metrics``, ``/events`` and ``/healthz`` until interrupted.
+    ``--port 0`` binds an ephemeral port and prints the real one —
+    tests and CI use that to avoid collisions.
+    """
+    import numpy as np
+
+    from . import Component, RectDomain, Stencil, WeightArray, telemetry
+    from .telemetry.metrics import MetricsServer
+
+    n = int(args.size)
+    lap = Component("u", WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]]))
+    stencil = Stencil(lap, "out", RectDomain((1, 1), (-1, -1)))
+    kernel = stencil.compile(
+        backend="numpy", shapes={"u": (n, n), "out": (n, n)}
+    )
+    rng = np.random.default_rng(0)
+    u = rng.random((n, n))
+    out = np.zeros_like(u)
+    for _ in range(int(args.calls)):
+        kernel(u=u, out=out)
+
+    server = MetricsServer(args.host, int(args.port))
+    print(f"serving OpenMetrics on http://{server.host}:{server.port}/metrics "
+          f"(mode {telemetry.mode()}; /events, /healthz also routed)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Profile a GSRB workload with the sampling self-profiler.
+
+    Runs the shared trace workload under :mod:`repro.telemetry.profiler`
+    and prints the span-attributed wall-time table plus the measured
+    profiler overhead (always bounded by its duty-cycle budget).
+    """
+    import numpy as np
+
+    from .telemetry import profiler, tracing
+
+    n = int(args.size)
+    group, shapes = _gsrb_workload(n)
+    shape = next(iter(shapes.values()))
+    rng = np.random.default_rng(0)
+    arrays = {g: rng.standard_normal(shape) for g in group.grids()}
+    arrays["x"] = np.zeros(shape)
+
+    interval = float(args.interval) / 1e3
+    with profiler.profile(interval=interval):
+        with tracing.session(fresh=True):
+            kernel = group.compile(
+                backend=args.backend, shapes=shapes,
+                fallback=("c", "numpy"),
+            )
+            for _ in range(int(args.calls)):
+                kernel(**arrays)
+    snap = profiler.snapshot()
+    print(profiler.render_top(snap, limit=int(args.limit)))
+    if args.out:
+        from .util.artifacts import artifact_path
+
+        out = artifact_path(args.out)
+        profiler.export_chrome_trace(out)
+        print(f"wrote {out}")
     return 0
 
 
@@ -151,7 +240,6 @@ def cmd_trace(args) -> int:
     distributed executor (dmem halo/apply spans on per-rank lanes).
     """
     import json
-    from pathlib import Path
 
     import numpy as np
 
@@ -159,7 +247,9 @@ def cmd_trace(args) -> int:
     from .dmem.executor import DistributedKernel
     from .frontend.passes import optimize_group
     from .telemetry import tracing
+    from .util.artifacts import artifact_path
 
+    out_path = artifact_path(args.out)
     n = int(args.size)
     group, shapes = _gsrb_workload(n)
     shape = next(iter(shapes.values()))
@@ -181,9 +271,9 @@ def cmd_trace(args) -> int:
             kernel(**arrays)
         dk = DistributedKernel(group, shape, 2, backend="numpy")
         dk(**make_arrays())
-        tracing.export_chrome_trace(args.out)
+        tracing.export_chrome_trace(out_path)
 
-    path = Path(args.out)
+    path = out_path
     doc = json.loads(path.read_text())  # validate what was written
     problems = tracing.validate_chrome_trace(doc)
     events = doc.get("traceEvents", [])
@@ -479,6 +569,60 @@ def main(argv=None) -> int:
         help="also write the telemetry snapshot as JSON "
         "(e.g. BENCH_pipeline.json)",
     )
+    st.add_argument(
+        "--openmetrics", action="store_true",
+        help="print the snapshot as OpenMetrics exposition text "
+        "instead of the fixed-width report",
+    )
+    sm = sub.add_parser(
+        "serve-metrics",
+        help="serve the OpenMetrics endpoint over stdlib HTTP",
+    )
+    sm.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    sm.add_argument(
+        "--port", type=int, default=9464,
+        help="bind port; 0 picks an ephemeral port and prints it "
+        "(default: 9464)",
+    )
+    sm.add_argument(
+        "--size", type=int, default=64,
+        help="grid edge length for the warm-up smoke kernel (default: 64)",
+    )
+    sm.add_argument(
+        "--calls", type=int, default=3,
+        help="warm-up kernel applications to record (default: 3)",
+    )
+    tp = sub.add_parser(
+        "top",
+        help="profile a GSRB workload with the sampling self-profiler",
+    )
+    tp.add_argument(
+        "--backend", default="c",
+        help="primary backend for the profiled kernel (default: c)",
+    )
+    tp.add_argument(
+        "--size", type=int, default=96,
+        help="interior grid edge length (default: 96)",
+    )
+    tp.add_argument(
+        "--calls", type=int, default=20,
+        help="kernel applications to profile (default: 20)",
+    )
+    tp.add_argument(
+        "--interval", type=float, default=2.0, metavar="MS",
+        help="requested sampling interval in milliseconds (default: 2.0)",
+    )
+    tp.add_argument(
+        "--limit", type=int, default=20,
+        help="rows in the top table (default: 20)",
+    )
+    tp.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also export the raw samples as Chrome trace-event JSON",
+    )
     tr = sub.add_parser(
         "trace",
         help="run a traced workload and export Chrome trace-event JSON",
@@ -599,6 +743,10 @@ def main(argv=None) -> int:
         return cmd_doctor()
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "serve-metrics":
+        return cmd_serve_metrics(args)
+    if args.command == "top":
+        return cmd_top(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "explain":

@@ -250,14 +250,36 @@ class NumpyBackend(Backend):
                     ex.prepare_blocks(sched.options.tile)
 
                 def impl(arrays, params):
-                    for ex in execs:
-                        ex.run_wavefront(arrays, params, tt.k)
+                    if telemetry.tracing.active():
+                        with telemetry.tracing.span(
+                            "time_tile", cat="schedule", backend="numpy",
+                            kind="wavefront", k=tt.k,
+                        ):
+                            for ex in execs:
+                                with telemetry.tracing.span(
+                                    f"stencil:{ex.stencil.name}",
+                                    cat="kernel", backend="numpy",
+                                ):
+                                    ex.run_wavefront(arrays, params, tt.k)
+                    else:
+                        for ex in execs:
+                            ex.run_wavefront(arrays, params, tt.k)
 
                 return impl
 
             applications = 1 if tt is None else tt.k
 
             def impl(arrays, params):
+                if tt is not None and telemetry.tracing.active():
+                    with telemetry.tracing.span(
+                        "time_tile", cat="schedule", backend="numpy",
+                        kind=tt.kind, k=tt.k,
+                    ):
+                        _apply(arrays, params)
+                else:
+                    _apply(arrays, params)
+
+            def _apply(arrays, params):
                 for _ in range(applications):
                     if telemetry.tracing.active():
                         for ex in execs:

@@ -312,8 +312,14 @@ def _sweep_time_tiles(
 def write_bench_kernels(
     doc: dict, path: "str | Path" = "BENCH_kernels.json"
 ) -> Path:
-    """Serialize a :func:`run_bench` document; returns the path written."""
-    p = Path(path)
+    """Serialize a :func:`run_bench` document; returns the path written.
+
+    A bare filename lands in ``SNOWFLAKE_ARTIFACT_DIR`` when that is
+    set (see :mod:`repro.util.artifacts`).
+    """
+    from .util.artifacts import artifact_path
+
+    p = artifact_path(path)
     p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return p
 

@@ -250,6 +250,7 @@ class SimComm:
             self._fabric.dead.add(rank)
             self._fabric.stats.crashes += 1
             telemetry.count("dmem.crashes")
+            telemetry.event("dmem.rank.crash", rank=rank)
             telemetry.tracing.instant(
                 "rank.crash", cat="dmem", lane=f"rank {rank}",
             )

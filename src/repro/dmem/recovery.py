@@ -107,6 +107,7 @@ class Checkpoint:
             {g: halo_crc(a) for g, a in rank.items()} for rank in blocks
         ]
         telemetry.count("dmem.recovery.checkpoints")
+        telemetry.event("dmem.checkpoint", sweep=sweep, ranks=len(blocks))
         telemetry.tracing.instant(
             "recovery.checkpoint", cat="dmem", sweep=sweep,
             ranks=len(blocks),
@@ -197,6 +198,11 @@ class RecoveryManager:
                     f"{ckpt.sweep})"
                 )
                 telemetry.count("dmem.recovery.rank_failures")
+                telemetry.event(
+                    "dmem.rank.failure",
+                    sweep=sweep + 1, rank=f.rank,
+                    restored_to=ckpt.sweep, restart=self.restarts,
+                )
                 if self.restarts > self.policy.max_restarts:
                     raise RecoveryExhausted(
                         self.restarts - 1, self.history
@@ -223,6 +229,11 @@ class RecoveryManager:
                 faults.restore_arms(ckpt.fault_arms)
             comm.stats.restores += 1
             telemetry.count("dmem.restores")
+            telemetry.event(
+                "dmem.restore",
+                sweep=ckpt.sweep, restart=self.restarts,
+                purged_messages=purged,
+            )
             telemetry.tracing.instant(
                 "recovery.restored", cat="dmem", sweep=ckpt.sweep,
                 purged_messages=purged,

@@ -37,6 +37,7 @@ where a corrupted wire must stop the job, not be papered over.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -301,6 +302,8 @@ class ReliableComm:
         def on_retry(_attempt: int, _e: BaseException) -> None:
             self._request_retransmit(ch, source, tag, want)
 
+        t0 = time.perf_counter()
+        retransmits_before = self.stats.retransmits
         try:
             payload = retry_call(
                 attempt,
@@ -317,6 +320,12 @@ class ReliableComm:
                 "requests — either the peer never sent (protocol bug) "
                 "or injected loss exceeded the retry budget"
             ) from None
+        rtt = time.perf_counter() - t0
+        telemetry.observe("dmem.halo.rtt", rtt, rank=str(me))
+        if self.stats.retransmits > retransmits_before:
+            # the round-trips that needed healing, as their own series:
+            # the recovery tail would otherwise vanish into the p50
+            telemetry.observe("dmem.retransmit.latency", rtt, rank=str(me))
         ch.next_in = want + 1
         ch.log.pop(want, None)  # the in-process ack
         self.stats.acked += 1
@@ -374,6 +383,11 @@ class ReliableComm:
             sender.send(ch.log[seq], self.rank, tag)
             self.stats.retransmits += 1
             telemetry.count("dmem.transport.retransmits")
+        telemetry.event(
+            "dmem.retransmit",
+            source=source, dest=self.rank, tag=tag,
+            want=want, window=len(ch.log),
+        )
         telemetry.tracing.instant(
             "retransmit", cat="dmem", lane=f"rank {source}",
             dest=self.rank, tag=tag, window=len(ch.log),

@@ -80,6 +80,7 @@ def retry_call(
                 raise
             if on_retry is not None:
                 on_retry(attempt, e)
+            telemetry.observe("resilience.retry.backoff", delay)
             sleep(delay)
             delay *= 2
     raise AssertionError("unreachable")  # pragma: no cover
@@ -312,6 +313,10 @@ class ResilientKernel:
         if name != self.chain[0] and not self._warned:
             self._warned = True
             telemetry.count("resilience.fallback.activations")
+            telemetry.event(
+                "resilience.degraded",
+                primary=self.chain[0], serving=name,
+            )
             telemetry.tracing.instant(
                 "degraded", cat="resilience",
                 primary=self.chain[0], serving=name,

@@ -258,6 +258,13 @@ def _plan_time_tile(
     slope, evidence, refusals = time_tile_verdict(group, shapes, steps)
     if refusals:
         detail = "; ".join(e.basis for e in refusals)
+        from .. import telemetry
+
+        telemetry.count("schedule.time_tile.refusals")
+        telemetry.event(
+            "schedule.time_tile.refused",
+            group=group.name, k=k, detail=detail,
+        )
         raise ValueError(
             f"time_tile={k} is not legal for group {group.name!r}: {detail}"
         )

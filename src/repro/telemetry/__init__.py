@@ -1,4 +1,4 @@
-"""Pipeline telemetry: counters, timers, traces with near-zero cost.
+"""Pipeline telemetry: counters, histograms, traces, events, profiler.
 
 "You cannot claim a hot path got faster without counters and traces" —
 this package is the observability layer under the repo's measurement
@@ -6,31 +6,56 @@ discipline.  Every stage of the compile/execute pipeline reports here:
 
 * frontend passes (``frontend.pass.*`` timers, stencils eliminated),
 * the JIT (cache hit/miss/quarantine, compiler wall time, lock waits),
-* every backend's kernel invocations (calls, seconds, points/s),
+* every backend's kernel invocations (calls, seconds, points/s, and
+  per-call latency histograms),
 * the resilience layer (fallback activations, retries, guard trips,
-  injected faults fired),
+  injected faults fired, backoff delays),
 * the simulated distributed fabric (messages, bytes, barriers,
-  exchange wall time).
+  exchange wall time, halo round-trip latency, retransmits).
 
-Two collection surfaces:
+Five collection surfaces (see ``docs/OBSERVABILITY.md`` for the full
+map and the name-stability contract):
 
 * the **registry** (:mod:`repro.telemetry.registry`) — aggregate
   counters/timers/kernel stats, controlled with
-  ``SNOWFLAKE_TELEMETRY=off|counters|trace`` (default ``counters``;
-  ``off`` reduces every hook to one cached string compare).  Read with
-  :func:`snapshot`, export the perf trajectory with
-  :func:`export_bench_json` (→ ``BENCH_pipeline.json``), render with
-  ``python -m repro stats``;
+  ``SNOWFLAKE_TELEMETRY=off|counters|events|trace`` (default
+  ``counters``; ``off`` reduces every hook to one cached string
+  compare).  Read with :func:`snapshot` (schema ``snowflake-stats/1``),
+  export the perf trajectory with :func:`export_bench_json`
+  (→ ``BENCH_pipeline.json``), render with ``python -m repro stats``;
+* **latency histograms** (:mod:`repro.telemetry.metrics`) — fixed
+  log-scale buckets behind every timer plus the labelled
+  ``kernel.call`` / ``dmem.halo.rtt`` seams; lock-free per-thread
+  shards, p50/p95/p99 on read.  The same module renders everything as
+  **OpenMetrics** text (:func:`render_openmetrics`) and serves it over
+  stdlib HTTP (``python -m repro serve-metrics``);
+* the **structured event log** (:mod:`repro.telemetry.events`) —
+  one-line ``snowflake-events/1`` JSON records for every pipeline
+  event (fallbacks, guard trips, quarantines, rank crashes,
+  checkpoint/restore, time-tile refusals), ring-buffered, span-
+  correlated, sinkable to file/stderr (``SNOWFLAKE_EVENTS_SINK``);
 * the **span tracer** (:mod:`repro.telemetry.tracing`) — hierarchical
   timed spans across every subsystem, exported as Chrome trace-event
   JSON for Perfetto (``python -m repro trace``).  Records inside a
-  ``tracing.session()`` block or whenever ``SNOWFLAKE_TELEMETRY=trace``.
+  ``tracing.session()`` block or whenever ``SNOWFLAKE_TELEMETRY=trace``;
+* the **self-profiler** (:mod:`repro.telemetry.profiler`) — a sampling
+  thread attributing wall time to the open span hierarchy under a
+  measured, self-enforcing overhead budget (``python -m repro top``,
+  ``SNOWFLAKE_PROFILE=1``).
 """
 
-from . import tracing
+from . import events, metrics, profiler, tracing
+from .metrics import (
+    observe,
+    render_openmetrics,
+    serve_metrics,
+    snapshot_histograms,
+    validate_openmetrics,
+)
 from .registry import (
     BENCH_SCHEMA,
     MODES,
+    STATS_SCHEMA,
     TRACE_CAPACITY,
     count,
     enabled,
@@ -50,20 +75,33 @@ from .report import format_stats, render_stats
 __all__ = [
     "BENCH_SCHEMA",
     "MODES",
+    "STATS_SCHEMA",
     "TRACE_CAPACITY",
     "count",
     "enabled",
     "event",
+    "events",
     "events_enabled",
     "export_bench_json",
     "format_stats",
     "kernel_call",
+    "metrics",
     "mode",
+    "observe",
+    "profiler",
     "record_time",
+    "render_openmetrics",
     "render_stats",
     "reset",
+    "serve_metrics",
     "set_mode",
     "snapshot",
+    "snapshot_histograms",
     "timed",
     "tracing",
+    "validate_openmetrics",
 ]
+
+# Always-on profiling is an env opt-in: SNOWFLAKE_PROFILE=1 starts the
+# sampler with the whole pipeline instrumented, budget-gated.
+profiler.maybe_start_from_env()

@@ -1,0 +1,533 @@
+"""Latency histograms and the OpenMetrics exporter.
+
+Where the registry's timers answer "how long on average", this module
+answers *what the distribution looks like*: every duration folded into
+:func:`observe` lands in a fixed-bucket log-scale histogram, so p50/
+p95/p99 are recoverable at any time without storing samples.  Fixed
+bucket boundaries make histograms mergeable — across threads, across
+scrapes, across processes.
+
+Designed for the hot path:
+
+* **lock-free per-thread shards** — each thread owns a private bucket
+  array reached through a ``threading.local`` dict, so ``observe`` in
+  steady state is a dict lookup, a bisect over ~30 boundaries, and
+  three in-place adds; no lock is taken and no other thread's cache
+  line is touched.  The registry lock is only held when a thread sees
+  a (name, labels) series for the first time, to publish its shard for
+  the merge;
+* **merge on read** — :func:`snapshot_histograms` sums the shard
+  arrays under the registry lock (shard *list* consistency), reading
+  counts that other threads may still be bumping: a reader can be at
+  most one in-flight observation stale, never torn (CPython list slots
+  are whole-object stores).
+
+The second half of the module is the **OpenMetrics text exporter**
+(:func:`render_openmetrics`): every counter, timer, kernel stat,
+histogram, structured-event count and profiler sample the process has
+collected, rendered as well-typed ``snowflake_*`` metric families with
+``backend``/``kernel`` labels, terminated by ``# EOF``.  Serve it from
+a long-lived process with :func:`serve_metrics` (stdlib ``http.server``
+only — ``python -m repro serve-metrics``) or dump it once with
+``python -m repro stats --openmetrics``.
+
+Metric-name stability: the families emitted here are a public contract
+(dashboards reference them); see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "BUCKETS",
+    "observe",
+    "percentile_from_buckets",
+    "snapshot_histograms",
+    "reset_histograms",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "serve_metrics",
+    "MetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
+]
+
+#: Fixed histogram bucket upper bounds, in seconds: a 1-2.5-5 ladder
+#: from 1µs to 100s.  Fixed boundaries are the whole design — shards,
+#: scrapes and processes merge by elementwise addition.  Changing them
+#: is a metrics-schema break (see docs/OBSERVABILITY.md).
+BUCKETS: tuple[float, ...] = tuple(
+    float(f"{base * mult:.6g}")  # exact decimal bounds (2.5e-06, not 2.4999...)
+    for base in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+    for mult in (1.0, 2.5, 5.0)
+) + (100.0,)
+
+_NBUCKETS = len(BUCKETS) + 1  # + overflow (+Inf)
+
+_lock = threading.Lock()
+#: series key -> list of shard record dicts (one per observing thread)
+_series: dict[tuple, list[dict]] = {}
+_generation = 0  # bumped by reset so threads drop stale shards
+_tls = threading.local()
+
+
+def _key(name: str, labels: dict | None) -> tuple:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted(labels.items())))
+
+
+def _shard_for(key: tuple) -> dict:
+    """This thread's shard for ``key``, creating + publishing on miss."""
+    gen = getattr(_tls, "gen", None)
+    if gen != _generation:
+        _tls.gen = _generation
+        _tls.shards = {}
+    shard = _tls.shards.get(key)
+    if shard is None:
+        shard = {
+            "counts": [0] * _NBUCKETS,
+            "sum": 0.0,
+            "min": float("inf"),
+            "max": float("-inf"),
+        }
+        with _lock:
+            # publish for merge-on-read; re-sync generation under the
+            # lock so a racing reset() can neither resurrect a pre-reset
+            # shard nor orphan this one (cached thread-locally but never
+            # published — every later observation would silently vanish)
+            if _tls.gen != _generation:
+                _tls.gen = _generation
+                _tls.shards = {}
+            _series.setdefault(key, []).append(shard)
+        _tls.shards[key] = shard
+    return shard
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Fold one duration (seconds) into histogram series ``name``.
+
+    Labels become OpenMetrics labels (``observe("kernel.call", dt,
+    backend="c")``).  No-op when telemetry is off.  Lock-free after the
+    first observation of a series on a thread.
+    """
+    from .registry import enabled
+
+    if not enabled():
+        return
+    _observe_raw(name, value, labels or None)
+
+
+def _observe_raw(name: str, value: float, labels: dict | None = None) -> None:
+    """The unconditional record path (callers already checked the mode)."""
+    shard = _shard_for(_key(name, labels))
+    v = float(value)
+    shard["counts"][bisect_left(BUCKETS, v)] += 1
+    shard["sum"] += v
+    if v < shard["min"]:
+        shard["min"] = v
+    if v > shard["max"]:
+        shard["max"] = v
+
+
+def percentile_from_buckets(counts: list[int], q: float) -> float | None:
+    """Estimate the ``q``-quantile (0..1) from merged bucket counts.
+
+    Linear interpolation inside the landing bucket; the overflow bucket
+    reports its lower bound (the last finite boundary).  ``None`` on an
+    empty histogram.
+    """
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    seen = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if seen + c >= rank:
+            lo = BUCKETS[i - 1] if i > 0 else 0.0
+            hi = BUCKETS[i] if i < len(BUCKETS) else BUCKETS[-1]
+            if hi <= lo:
+                return hi
+            frac = (rank - seen) / c
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        seen += c
+    return BUCKETS[-1]  # pragma: no cover - rank <= total by construction
+
+
+def snapshot_histograms() -> dict:
+    """Merge every shard: series name -> list of per-labelset records.
+
+    Each record: ``{"labels", "count", "sum", "min", "max", "p50",
+    "p95", "p99", "buckets"}`` where ``buckets`` pairs each boundary
+    (``+Inf`` last) with its *cumulative* count, OpenMetrics-style.
+    """
+    with _lock:
+        items = [
+            (key, list(shards)) for key, shards in _series.items()
+        ]
+    out: dict[str, list[dict]] = {}
+    for (name, labels), shards in sorted(items, key=lambda kv: kv[0]):
+        counts = [0] * _NBUCKETS
+        total = 0.0
+        lo, hi = float("inf"), float("-inf")
+        for shard in shards:
+            sc = shard["counts"]
+            for i in range(_NBUCKETS):
+                counts[i] += sc[i]
+            total += shard["sum"]
+            lo = min(lo, shard["min"])
+            hi = max(hi, shard["max"])
+        n = sum(counts)
+        if n == 0:
+            continue
+        cum, acc = [], 0
+        for i in range(_NBUCKETS):
+            acc += counts[i]
+            # the overflow bound is the *string* "+Inf" so snapshots
+            # stay strict JSON (json.dumps would emit bare Infinity)
+            bound = BUCKETS[i] if i < len(BUCKETS) else "+Inf"
+            cum.append([bound, acc])
+        out.setdefault(name, []).append(
+            {
+                "labels": dict(labels),
+                "count": n,
+                "sum": total,
+                "min": lo,
+                "max": hi,
+                "p50": percentile_from_buckets(counts, 0.50),
+                "p95": percentile_from_buckets(counts, 0.95),
+                "p99": percentile_from_buckets(counts, 0.99),
+                "buckets": cum,
+            }
+        )
+    return out
+
+
+def reset_histograms() -> None:
+    """Drop every series and orphan all live shards (test isolation)."""
+    global _generation
+    with _lock:
+        _generation += 1
+        _series.clear()
+
+
+# -- OpenMetrics rendering ----------------------------------------------------
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: dotted-name patterns whose middle component is really a label;
+#: everything else sanitizes verbatim.  Order matters: first match wins.
+_LABEL_RULES: tuple[tuple[re.Pattern, str, str], ...] = (
+    (re.compile(r"^codegen\.([a-z0-9_-]+)\.(sources|bytes)$"),
+     "codegen_\\2", "backend"),
+    (re.compile(r"^backend\.([a-z0-9_-]+)\.(specialize)$"),
+     "backend_\\2", "backend"),
+)
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_OK.sub("_", name.replace(".", "_").replace("-", "_"))
+
+
+def _family(name: str) -> tuple[str, dict[str, str]]:
+    """Map a dotted registry name to (family_suffix, extracted_labels)."""
+    for pat, repl, label in _LABEL_RULES:
+        m = pat.match(name)
+        if m:
+            return pat.sub(repl, name), {label: m.group(1)}
+    return _sanitize(name), {}
+
+
+def _labelstr(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(str(k))}="{_escape(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if v != v:  # NaN
+        return "NaN"
+    return repr(float(v))
+
+
+class _Doc:
+    """Accumulates families, enforcing one TYPE/HELP block per family."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._seen: set[str] = set()
+
+    def family(self, name: str, mtype: str, help_: str) -> None:
+        if name in self._seen:
+            return
+        self._seen.add(name)
+        self.lines.append(f"# TYPE {name} {mtype}")
+        self.lines.append(f"# HELP {name} {help_}")
+
+    def sample(self, name: str, labels: dict, value: float) -> None:
+        self.lines.append(f"{name}{_labelstr(labels)} {_num(value)}")
+
+
+def render_openmetrics(snap: dict | None = None) -> str:
+    """Render the full process state as OpenMetrics text.
+
+    ``snap`` defaults to a live :func:`~repro.telemetry.snapshot` (which
+    embeds the merged histograms).  Every counter, timer, kernel stat,
+    histogram series, structured-event total and profiler sample is
+    emitted as a ``snowflake_*`` family; the document ends with
+    ``# EOF`` per the OpenMetrics spec.
+    """
+    from .. import __version__
+    from . import events as _events
+    from . import profiler as _profiler
+    from .registry import snapshot
+
+    if snap is None:
+        snap = snapshot()
+    doc = _Doc()
+
+    doc.family("snowflake_build", "info", "repro-snowflake build metadata")
+    doc.sample(
+        "snowflake_build_info",
+        {"version": __version__, "stats_schema": snap.get("schema", "?")},
+        1,
+    )
+
+    for name, n in sorted(snap.get("counters", {}).items()):
+        fam, labels = _family(name)
+        full = f"snowflake_{fam}"
+        doc.family(full, "counter", f"registry counter {name}")
+        doc.sample(full + "_total", labels, n)
+
+    kernels = snap.get("kernels", {})
+    if kernels:
+        # one family block at a time: OpenMetrics requires a family's
+        # samples contiguous under its metadata
+        for field, help_ in (
+            ("calls", "compiled-kernel invocations per backend"),
+            ("seconds", "wall time inside compiled kernels per backend"),
+            ("points", "stencil applications computed per backend"),
+        ):
+            fam = f"snowflake_kernel_{field}"
+            doc.family(fam, "counter", help_)
+            for backend, k in sorted(kernels.items()):
+                doc.sample(fam + "_total", {"backend": backend}, k[field])
+
+    # Timers without a histogram series (recorded before metrics landed
+    # or via a direct record_time with histograms reset) still export
+    # their exact count/sum as a counter pair.
+    hists = snap.get("histograms") or snapshot_histograms()
+    for name, t in sorted(snap.get("timers", {}).items()):
+        if name in hists:
+            continue
+        fam, labels = _family(name)
+        full = f"snowflake_{fam}_seconds"
+        doc.family(full, "counter", f"registry timer {name} (no histogram)")
+        doc.sample(full + "_total", labels, t["total_s"])
+
+    for name, series in sorted(hists.items()):
+        fam, base_labels = _family(name)
+        full = f"snowflake_{fam}_seconds"
+        doc.family(full, "histogram", f"latency histogram {name}")
+        for rec in series:
+            labels = {**base_labels, **rec["labels"]}
+            for bound, cum in rec["buckets"]:
+                le = bound if isinstance(bound, str) else _num(bound)
+                doc.sample(full + "_bucket", {**labels, "le": le}, cum)
+            doc.sample(full + "_count", labels, rec["count"])
+            doc.sample(full + "_sum", labels, rec["sum"])
+
+    ev_counts = _events.counts_by_name()
+    if ev_counts:
+        doc.family("snowflake_events", "counter",
+                   "structured events emitted, by event name")
+        for name, n in sorted(ev_counts.items()):
+            doc.sample("snowflake_events_total", {"event": name}, n)
+
+    prof = _profiler.snapshot()
+    if prof["samples_total"]:
+        doc.family("snowflake_profile_samples", "counter",
+                   "self-profiler samples attributed to open spans")
+        for span_name, rec in sorted(prof["spans"].items()):
+            doc.sample(
+                "snowflake_profile_samples_total",
+                {"span": span_name, "cat": rec["cat"]},
+                rec["samples"],
+            )
+        doc.family("snowflake_profile_overhead_ratio", "gauge",
+                   "measured sampler duty cycle (work / wall)")
+        doc.sample("snowflake_profile_overhead_ratio", {},
+                   prof["duty_cycle"])
+
+    return "\n".join(doc.lines) + "\n# EOF\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [^ ]+( [0-9.e+-]+)?$"
+)
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Structural check of an OpenMetrics document; returns problems.
+
+    Not a full spec parser — verifies what the CI scrape job needs:
+    ``# EOF`` termination, well-formed sample/metadata lines, TYPE
+    metadata preceding every family's samples, and histogram bucket
+    monotonicity.
+    """
+    problems: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("document does not end with # EOF")
+    typed: set[str] = set()
+    bucket_last: dict[str, float] = {}
+    for i, line in enumerate(lines):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                problems.append(f"line {i}: bad metadata {line!r}")
+            elif parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {i}: bad sample line {line!r}")
+            continue
+        metric = line.split("{", 1)[0].split(" ", 1)[0]
+        base = re.sub(
+            r"_(total|count|sum|bucket|created|info)$", "", metric
+        )
+        if metric not in typed and base not in typed:
+            problems.append(f"line {i}: sample {metric} has no TYPE")
+        if metric.endswith("_bucket"):
+            m = re.search(r'le="([^"]+)"', line)
+            series = line.rsplit(" ", 1)[0].replace(
+                f'le="{m.group(1)}"', "") if m else metric
+            if m is None:
+                problems.append(f"line {i}: bucket sample without le=")
+            else:
+                le = float("inf") if m.group(1) == "+Inf" else float(m.group(1))
+                prev = bucket_last.get(series)
+                if prev is not None and le <= prev:
+                    problems.append(
+                        f"line {i}: bucket le={m.group(1)} not increasing"
+                    )
+                bucket_last[series] = le
+    return problems
+
+
+# -- stdlib HTTP exporter -----------------------------------------------------
+
+
+class MetricsServer:
+    """A background ``/metrics`` endpoint (stdlib ``http.server`` only).
+
+    Routes: ``/metrics`` (OpenMetrics text), ``/events`` (the structured
+    event ring as JSON lines), ``/healthz``.  Start with
+    :func:`serve_metrics`; ``port=0`` binds an ephemeral port, read the
+    real one from ``.port``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9464) -> None:
+        import json as _json
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from . import events as _events
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = render_openmetrics().encode()
+                    ctype = OPENMETRICS_CONTENT_TYPE
+                elif path == "/events":
+                    body = (
+                        "\n".join(
+                            _json.dumps(r, sort_keys=True)
+                            for r in _events.records()
+                        )
+                        + "\n"
+                    ).encode()
+                    ctype = "application/x-ndjson"
+                elif path == "/healthz":
+                    body, ctype = b"ok\n", "text/plain"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request spam
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    def start(self) -> "MetricsServer":
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="snowflake-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block serving requests (the CLI foreground path)."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._serving:
+            # shutdown() waits on serve_forever's exit handshake and
+            # would block forever on a server that never served
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_metrics(
+    host: str = "127.0.0.1", port: int = 9464
+) -> MetricsServer:
+    """Start a background OpenMetrics endpoint; returns the server.
+
+    The caller owns shutdown (``server.close()`` or use as a context
+    manager).  ``python -m repro serve-metrics`` wraps this in a
+    foreground loop.
+    """
+    return MetricsServer(host, port).start()

@@ -1,0 +1,343 @@
+"""Always-on sampling self-profiler with a measured overhead budget.
+
+A daemon thread wakes every ``interval`` seconds and reads the top of
+every thread's open-span stack (:func:`repro.telemetry.tracing
+.open_stacks`), attributing wall time to the existing span hierarchy —
+compile vs. codegen vs. sweep vs. halo — without instrumenting anything
+new: the spans the tracer already opens *are* the attribution.
+
+The profiler's pitch is that it is **provably cheap**:
+
+* the sampler measures its own duty cycle (time spent sampling / wall
+  time) and reports it (:func:`overhead`);
+* when the duty cycle exceeds the configured ``budget`` the interval
+  doubles (bounded by :data:`MAX_INTERVAL`), so the overhead converges
+  under the budget instead of growing with thread count — the profiler
+  throttles itself, the workload never waits on it;
+* span bookkeeping on the workload threads costs one tuple append/pop
+  per span (the tracer maintains stacks whenever
+  ``tracing.stacks_wanted`` is set), and nothing at all when the
+  profiler is off.
+
+Surfaces: ``python -m repro top`` (aggregate hot-path table),
+:func:`render_top`, OpenMetrics families
+``snowflake_profile_samples_total{span=,cat=}`` /
+``snowflake_profile_overhead_ratio`` via the exporter, and
+:func:`export_chrome_trace` (sample instants on the sampled threads'
+tracks, loadable in Perfetto next to a span trace).
+
+Activation: :func:`start` (idempotent), ``profile()`` as a context
+manager, or ``SNOWFLAKE_PROFILE=1`` in the environment (checked once
+at package import).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+
+from . import tracing
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "DEFAULT_BUDGET",
+    "MAX_INTERVAL",
+    "SAMPLE_TRACE_CAPACITY",
+    "start",
+    "stop",
+    "active",
+    "profile",
+    "snapshot",
+    "overhead",
+    "reset",
+    "render_top",
+    "export_chrome_trace",
+    "maybe_start_from_env",
+]
+
+#: default sampling period, seconds (200 Hz)
+DEFAULT_INTERVAL = 0.005
+
+#: default overhead budget: sampler duty cycle must stay below this
+#: fraction of wall time, or the interval backs off
+DEFAULT_BUDGET = 0.02
+
+#: adaptive back-off never slows sampling below this period
+MAX_INTERVAL = 0.25
+
+#: bounded raw-sample buffer for the Chrome-trace export
+SAMPLE_TRACE_CAPACITY = 20_000
+
+_lock = threading.Lock()
+_thread: threading.Thread | None = None
+_stop_flag = threading.Event()
+
+_interval = DEFAULT_INTERVAL
+_budget = DEFAULT_BUDGET
+_samples: Counter = Counter()  # (span name, cat) -> samples
+_idle_samples = 0
+_ticks = 0
+_busy_s = 0.0  # time spent inside the sampling body
+_wall_s = 0.0  # wall time covered while running
+_backoffs = 0
+_raw: list[tuple[float, int, str, str]] = []  # (ts_us, tid, name, cat)
+
+
+def _sample_once() -> None:
+    global _idle_samples
+    now_us = tracing._now_us()
+    hit = False
+    for tid, stack in tracing.open_stacks():
+        try:
+            name, _sid, cat = stack[-1]
+        except IndexError:
+            continue  # thread idle (no open span)
+        hit = True
+        with _lock:
+            _samples[(name, cat)] += 1
+            if len(_raw) < SAMPLE_TRACE_CAPACITY:
+                _raw.append((now_us, tid, name, cat))
+    if not hit:
+        with _lock:
+            _idle_samples += 1
+
+
+def _loop() -> None:
+    global _interval, _ticks, _busy_s, _wall_s, _backoffs
+    t_last = time.perf_counter()
+    while not _stop_flag.wait(_interval):
+        t0 = time.perf_counter()
+        _sample_once()
+        t1 = time.perf_counter()
+        with _lock:
+            _ticks += 1
+            _busy_s += t1 - t0
+            _wall_s += t1 - t_last
+            # Overhead governor: stay inside the budget by slowing
+            # down, creep back toward the requested rate when cheap.
+            if _wall_s > 0 and _ticks % 16 == 0:
+                duty = _busy_s / _wall_s
+                if duty > _budget and _interval < MAX_INTERVAL:
+                    _interval = min(_interval * 2.0, MAX_INTERVAL)
+                    _backoffs += 1
+                elif duty < _budget / 4 and _interval > DEFAULT_INTERVAL:
+                    _interval = max(_interval / 2.0, DEFAULT_INTERVAL)
+        t_last = t1
+
+
+def start(
+    interval: float = DEFAULT_INTERVAL, budget: float = DEFAULT_BUDGET
+) -> None:
+    """Start (or retune) the sampler; idempotent.
+
+    ``interval`` is the requested sampling period; ``budget`` the duty-
+    cycle ceiling the governor enforces (fraction of wall time).
+    """
+    global _thread, _interval, _budget
+    if interval <= 0 or not (0 < budget <= 1):
+        raise ValueError(
+            f"need interval > 0 and 0 < budget <= 1, "
+            f"got {interval!r}/{budget!r}"
+        )
+    with _lock:
+        _interval = float(interval)
+        _budget = float(budget)
+        if _thread is not None and _thread.is_alive():
+            return
+        _stop_flag.clear()
+        tracing.stacks_wanted = True
+        _thread = threading.Thread(
+            target=_loop, name="snowflake-profiler", daemon=True
+        )
+        _thread.start()
+
+
+def stop() -> None:
+    """Stop the sampler thread (aggregates are kept until :func:`reset`)."""
+    global _thread
+    with _lock:
+        th = _thread
+        _thread = None
+    if th is None:
+        return
+    _stop_flag.set()
+    th.join(timeout=5)
+    tracing.stacks_wanted = tracing.active()  # sessions may still need stacks
+
+
+def active() -> bool:
+    return _thread is not None and _thread.is_alive()
+
+
+@contextmanager
+def profile(
+    interval: float = DEFAULT_INTERVAL, budget: float = DEFAULT_BUDGET
+):
+    """Profile the block: fresh aggregates, sampler running throughout."""
+    reset()
+    start(interval, budget)
+    try:
+        yield
+    finally:
+        stop()
+
+
+def overhead() -> float:
+    """Measured sampler duty cycle so far (0.0 before any tick)."""
+    with _lock:
+        return (_busy_s / _wall_s) if _wall_s > 0 else 0.0
+
+
+def snapshot() -> dict:
+    """Aggregate view: where did the sampled wall time go?
+
+    ``spans`` maps span name -> ``{cat, samples, fraction}`` (fraction
+    of non-idle samples); plus the governor's state — ``interval_s``
+    (current, post-adaptation), ``duty_cycle``, ``budget``,
+    ``within_budget``, ``backoffs``.
+    """
+    with _lock:
+        samples = dict(_samples)
+        idle = _idle_samples
+        ticks = _ticks
+        duty = (_busy_s / _wall_s) if _wall_s > 0 else 0.0
+        interval = _interval
+        budget = _budget
+        backoffs = _backoffs
+    total = sum(samples.values())
+    spans = {
+        name: {
+            "cat": cat,
+            "samples": n,
+            "fraction": (n / total) if total else 0.0,
+        }
+        for (name, cat), n in samples.items()
+    }
+    return {
+        "samples_total": total,
+        "idle_samples": idle,
+        "ticks": ticks,
+        "spans": spans,
+        "interval_s": interval,
+        "duty_cycle": duty,
+        "budget": budget,
+        "within_budget": duty <= budget,
+        "backoffs": backoffs,
+    }
+
+
+def reset() -> None:
+    """Zero every aggregate (test isolation / fresh profile window)."""
+    global _idle_samples, _ticks, _busy_s, _wall_s, _backoffs
+    with _lock:
+        _samples.clear()
+        _raw.clear()
+        _idle_samples = 0
+        _ticks = 0
+        _busy_s = 0.0
+        _wall_s = 0.0
+        _backoffs = 0
+
+
+def render_top(snap: dict | None = None, limit: int = 20) -> str:
+    """The ``repro top`` table: hottest spans by sample count."""
+    from ..util.tables import format_table
+
+    if snap is None:
+        snap = snapshot()
+    lines = []
+    spans = sorted(
+        snap["spans"].items(), key=lambda kv: -kv[1]["samples"]
+    )[:limit]
+    if spans:
+        rows = [
+            [name, rec["cat"], rec["samples"],
+             f"{rec['fraction'] * 100:.1f}%"]
+            for name, rec in spans
+        ]
+        lines.append(format_table(
+            ["span", "subsystem", "samples", "share"],
+            rows, title="hot paths (sampled)",
+        ))
+    else:
+        lines.append("(no samples — nothing ran under an open span)")
+    lines.append(
+        f"sampler: {snap['samples_total']} attributed + "
+        f"{snap['idle_samples']} idle samples over {snap['ticks']} ticks, "
+        f"interval {snap['interval_s'] * 1e3:.1f} ms, "
+        f"overhead {snap['duty_cycle'] * 100:.2f}% "
+        f"(budget {snap['budget'] * 100:.1f}%, "
+        f"{'within' if snap['within_budget'] else 'OVER'} budget, "
+        f"{snap['backoffs']} backoff(s))"
+    )
+    return "\n\n".join(lines)
+
+
+def export_chrome_trace(path=None) -> dict:
+    """Export the raw samples as a Chrome trace-event document.
+
+    Each sample becomes an instant event (``ph="i"``, cat
+    ``profile``) on the sampled thread's track, so the file overlays
+    directly on a span trace in Perfetto.  Valid per
+    :func:`repro.telemetry.tracing.validate_chrome_trace`.
+    """
+    import json
+
+    from .. import __version__
+    from ..util.artifacts import artifact_path
+    from .tracing import TRACE_SCHEMA
+
+    with _lock:
+        raw = list(_raw)
+    pid = os.getpid()
+    evs = [
+        {
+            "name": f"sample:{name}",
+            "cat": "profile",
+            "ph": "i",
+            "s": "t",
+            "ts": round(ts, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": {"span": name, "subsystem": cat},
+        }
+        for ts, tid, name, cat in raw
+    ]
+    doc = {
+        "traceEvents": evs,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "version": __version__,
+            "unix_time": time.time(),
+            "dropped_events": 0,
+            "profile": snapshot(),
+        },
+    }
+    if path is not None:
+        artifact_path(path).write_text(json.dumps(doc, indent=1) + "\n")
+    return doc
+
+
+def maybe_start_from_env() -> bool:
+    """Start the sampler when ``SNOWFLAKE_PROFILE`` asks for it.
+
+    ``SNOWFLAKE_PROFILE=1`` (or any truthy value) starts with defaults;
+    a float value sets the interval in milliseconds
+    (``SNOWFLAKE_PROFILE=2.5`` → 2.5 ms).  Returns whether it started.
+    """
+    raw = os.environ.get("SNOWFLAKE_PROFILE", "").strip().lower()
+    if not raw or raw in ("0", "off", "false", "no"):
+        return False
+    interval = DEFAULT_INTERVAL
+    try:
+        ms = float(raw)
+        if ms > 0 and raw not in ("1", "true", "on", "yes"):
+            interval = ms / 1e3
+    except ValueError:
+        pass
+    start(interval=interval)
+    return True

@@ -6,15 +6,19 @@ invocations, the resilience layer, and the simulated distributed
 fabric.  Zero third-party dependencies, thread-safe, and near-free
 when switched off.
 
-Three modes, selected by ``SNOWFLAKE_TELEMETRY`` (re-read lazily, so
+Four modes, selected by ``SNOWFLAKE_TELEMETRY`` (re-read lazily, so
 tests may monkeypatch the environment) or programmatically with
 :func:`set_mode`:
 
 * ``off``      — every hook returns after one cached string compare;
-* ``counters`` — the default: aggregate counters, timers, and
-  per-backend kernel statistics;
-* ``trace``    — counters plus a bounded ring buffer of timestamped
-  events (:func:`event`) for post-mortem inspection.
+* ``counters`` — the default: aggregate counters, timers, latency
+  histograms (:mod:`repro.telemetry.metrics`), and per-backend kernel
+  statistics;
+* ``events``   — counters plus the structured JSON event log
+  (:mod:`repro.telemetry.events`, schema ``snowflake-events/1``);
+* ``trace``    — everything: counters, structured events, the bounded
+  ring buffer of timestamped events (:func:`event`), and span
+  recording (:mod:`repro.telemetry.tracing`).
 
 Naming convention: dotted lowercase paths, coarse-to-fine
 (``jit.cache.hit.disk``, ``guards.trip.nonfinite``,
@@ -50,15 +54,21 @@ __all__ = [
     "reset",
     "export_bench_json",
     "BENCH_SCHEMA",
+    "STATS_SCHEMA",
 ]
 
-MODES = ("off", "counters", "trace")
+MODES = ("off", "counters", "events", "trace")
 
 #: ring-buffer size of the trace-mode event log
 TRACE_CAPACITY = 4096
 
 #: schema tag stamped into every JSON export
 BENCH_SCHEMA = "snowflake-telemetry/1"
+
+#: schema tag stamped into every :func:`snapshot` (and so into
+#: ``repro stats --json`` output), versioned like the bench/trace
+#: exporters
+STATS_SCHEMA = "snowflake-stats/1"
 
 _lock = threading.Lock()
 _counters: Counter = Counter()
@@ -125,7 +135,12 @@ def count(name: str, n: int | float = 1) -> None:
 
 
 def record_time(name: str, seconds: float) -> None:
-    """Fold one duration into timer ``name`` (count/total/min/max)."""
+    """Fold one duration into timer ``name`` (count/total/min/max).
+
+    Every timer also feeds the fixed-bucket latency histogram of the
+    same name (:mod:`repro.telemetry.metrics`), so p50/p95/p99 are
+    recoverable for free wherever a timer already exists.
+    """
     if mode() == "off":
         return
     with _lock:
@@ -137,6 +152,9 @@ def record_time(name: str, seconds: float) -> None:
             agg[1] += seconds
             agg[2] = min(agg[2], seconds)
             agg[3] = max(agg[3], seconds)
+    from .metrics import _observe_raw
+
+    _observe_raw(name, seconds)
 
 
 @contextmanager
@@ -155,7 +173,12 @@ def timed(name: str):
 
 
 def kernel_call(backend: str, seconds: float, points: int) -> None:
-    """Record one compiled-kernel invocation for ``backend``."""
+    """Record one compiled-kernel invocation for ``backend``.
+
+    Also feeds the ``kernel.call`` latency histogram (labelled by
+    backend) — the per-call distribution behind the p50/p95/p99 the
+    ``repro stats`` report and the OpenMetrics exporter surface.
+    """
     if mode() == "off":
         return
     with _lock:
@@ -166,18 +189,34 @@ def kernel_call(backend: str, seconds: float, points: int) -> None:
             agg[0] += 1
             agg[1] += seconds
             agg[2] += points
+    from .metrics import _observe_raw
+
+    _observe_raw("kernel.call", seconds, {"backend": backend})
 
 
 def event(name: str, **fields) -> None:
-    """Append a timestamped event to the trace ring buffer.
+    """Record one named pipeline event.
 
-    Inert outside ``trace`` mode, so hot paths may call it freely.
+    Two destinations, both bounded:
+
+    * ``trace`` mode — the in-process ring buffer (post-mortem
+      snapshot inspection, as always);
+    * ``events`` or ``trace`` mode — the structured JSON event log
+      (:mod:`repro.telemetry.events`), one ``snowflake-events/1``
+      record with span correlation.
+
+    Inert in ``off``/``counters`` modes, so hot paths may call it
+    freely.
     """
-    if mode() != "trace":
-        return
-    stamp = time.perf_counter() - _t0
-    with _lock:
-        _trace.append({"t": round(stamp, 6), "name": name, **fields})
+    m = mode()
+    if m == "trace":
+        stamp = time.perf_counter() - _t0
+        with _lock:
+            _trace.append({"t": round(stamp, 6), "name": name, **fields})
+    if m in ("events", "trace"):
+        from .events import emit
+
+        emit(name, **fields)
 
 
 # -- reading ------------------------------------------------------------------
@@ -186,12 +225,17 @@ def event(name: str, **fields) -> None:
 def snapshot() -> dict:
     """Plain-dict view of everything collected so far.
 
-    ``counters`` — name -> number; ``timers`` — name ->
-    ``{count, total_s, mean_s, min_s, max_s}``; ``kernels`` — backend ->
-    ``{calls, seconds, points, points_per_s}`` (``points_per_s`` is
-    ``None`` while the accumulated time is below timer resolution —
-    never ``inf``); ``trace`` — the event list (trace mode only).
+    Tagged ``schema: snowflake-stats/1``.  ``counters`` — name ->
+    number; ``timers`` — name -> ``{count, total_s, mean_s, min_s,
+    max_s}``; ``kernels`` — backend -> ``{calls, seconds, points,
+    points_per_s}`` (``points_per_s`` is ``None`` while the accumulated
+    time is below timer resolution — never ``inf``); ``histograms`` —
+    the merged latency histograms with p50/p95/p99 (see
+    :func:`repro.telemetry.metrics.snapshot_histograms`); ``trace`` —
+    the event list (trace mode only).
     """
+    from .metrics import snapshot_histograms
+
     with _lock:
         counters = dict(_counters)
         timers = {
@@ -215,10 +259,12 @@ def snapshot() -> dict:
         }
         trace = list(_trace)
     out = {
+        "schema": STATS_SCHEMA,
         "mode": mode(),
         "counters": counters,
         "timers": timers,
         "kernels": kernels,
+        "histograms": snapshot_histograms(),
     }
     if out["mode"] == "trace":
         out["trace"] = trace
@@ -226,31 +272,43 @@ def snapshot() -> dict:
 
 
 def reset() -> None:
-    """Zero every table and drop the trace (test isolation)."""
+    """Zero every table, histogram, event log and trace (test isolation)."""
+    from .events import reset as reset_events
+    from .metrics import reset_histograms
+
     with _lock:
         _counters.clear()
         _timers.clear()
         _kernels.clear()
         _trace.clear()
+    reset_histograms()
+    reset_events()
 
 
 # -- export -------------------------------------------------------------------
 
 
-def export_bench_json(path: str | os.PathLike = "BENCH_pipeline.json") -> Path:
+def export_bench_json(
+    path: str | os.PathLike = "BENCH_pipeline.json"
+) -> Path:
     """Write the current snapshot as a perf-trajectory artifact.
 
     The file is the repo's recorded performance trajectory
-    (``BENCH_pipeline.json``): schema-tagged, host-stamped, and safe to
-    diff across commits.  Returns the path written.
+    (``BENCH_pipeline.json``): schema-tagged (envelope
+    ``snowflake-telemetry/1``, embedded snapshot ``snowflake-stats/1``
+    as ``stats_schema``), host-stamped, and safe to diff across
+    commits.  A bare filename lands in ``SNOWFLAKE_ARTIFACT_DIR`` when
+    that is set (long-lived services must not litter their CWD).
+    Returns the path written.
     """
     import platform
     import sys
 
     from .. import __version__
+    from ..util.artifacts import artifact_path
 
     doc = {
-        "schema": BENCH_SCHEMA,
+        **snapshot(),
         "version": __version__,
         "unix_time": time.time(),
         "host": {
@@ -258,8 +316,9 @@ def export_bench_json(path: str | os.PathLike = "BENCH_pipeline.json") -> Path:
             "machine": platform.machine(),
             "python": sys.version.split()[0],
         },
-        **snapshot(),
     }
-    p = Path(path)
+    doc["stats_schema"] = doc.pop("schema", STATS_SCHEMA)
+    doc["schema"] = BENCH_SCHEMA
+    p = artifact_path(path)
     p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return p

@@ -13,25 +13,38 @@ from .registry import snapshot
 __all__ = ["format_stats", "render_stats"]
 
 
+def _quantiles_for(hists: dict, name: str, labels: dict | None = None):
+    """p50/p95/p99 of one histogram series, or dashes when absent."""
+    for rec in hists.get(name, ()):
+        if labels is None or rec.get("labels") == labels:
+            return rec["p50"], rec["p95"], rec["p99"]
+    return "-", "-", "-"
+
+
 def format_stats(snap: dict) -> str:
     """Fixed-width report of one :func:`~repro.telemetry.snapshot`."""
     blocks: list[str] = [f"telemetry mode: {snap.get('mode', '?')}"]
+    hists = snap.get("histograms", {})
 
     kernels = snap.get("kernels", {})
     if kernels:
-        rows = [
-            [
+        rows = []
+        for backend, k in sorted(kernels.items()):
+            p50, p95, p99 = _quantiles_for(
+                hists, "kernel.call", {"backend": backend}
+            )
+            rows.append([
                 backend,
                 k["calls"],
                 k["seconds"],
                 (k["points_per_s"] / 1e6 if k["points_per_s"] else "-"),
                 k["points"],
-            ]
-            for backend, k in sorted(kernels.items())
-        ]
+                p50, p95, p99,
+            ])
         blocks.append(
             format_table(
-                ["backend", "calls", "seconds", "Mpoint/s", "points"],
+                ["backend", "calls", "seconds", "Mpoint/s", "points",
+                 "p50_s", "p95_s", "p99_s"],
                 rows,
                 title="kernel invocations",
             )
@@ -39,15 +52,43 @@ def format_stats(snap: dict) -> str:
 
     timers = snap.get("timers", {})
     if timers:
-        rows = [
-            [name, t["count"], t["total_s"], t["mean_s"], t["max_s"]]
-            for name, t in sorted(timers.items())
-        ]
+        rows = []
+        for name, t in sorted(timers.items()):
+            p50, p95, p99 = _quantiles_for(hists, name, {})
+            rows.append([
+                name, t["count"], t["total_s"], t["mean_s"], t["max_s"],
+                p50, p95, p99,
+            ])
         blocks.append(
             format_table(
-                ["timer", "count", "total_s", "mean_s", "max_s"],
+                ["timer", "count", "total_s", "mean_s", "max_s",
+                 "p50_s", "p95_s", "p99_s"],
                 rows,
                 title="timers",
+            )
+        )
+
+    # Histogram-only series (labelled seams like kernel.call or
+    # dmem.halo.rtt that have no registry timer of the same name).
+    extra_rows = []
+    for name, series in sorted(hists.items()):
+        if name in timers:
+            continue
+        for rec in series:
+            label = ",".join(
+                f"{k}={v}" for k, v in sorted(rec["labels"].items())
+            ) or "-"
+            extra_rows.append([
+                name, label, rec["count"], rec["sum"],
+                rec["p50"], rec["p95"], rec["p99"], rec["max"],
+            ])
+    if extra_rows:
+        blocks.append(
+            format_table(
+                ["histogram", "labels", "count", "total_s",
+                 "p50_s", "p95_s", "p99_s", "max_s"],
+                extra_rows,
+                title="latency histograms",
             )
         )
 

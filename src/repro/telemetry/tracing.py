@@ -32,6 +32,7 @@ export.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -52,6 +53,7 @@ __all__ = [
     "instant",
     "events",
     "dropped",
+    "current_span_id",
     "export_chrome_trace",
     "validate_chrome_trace",
 ]
@@ -85,6 +87,17 @@ _sessions = 0  # explicit start()/stop() nesting depth
 _lanes: dict[str, int] = {}  # lane name -> synthetic tid
 _epoch_ns = time.perf_counter_ns()  # trace time zero (monotonic)
 _local = threading.local()  # per-thread open-span stack
+#: every thread's open-span stack, keyed by native tid — the sampling
+#: profiler reads these from its own thread (entries are (name, id,
+#: cat) tuples; list append/pop are atomic under the GIL, so a reader
+#: sees either the pre- or post-state, never a torn frame)
+_stacks: dict[int, list] = {}
+#: the profiler sets this so span() maintains stacks even when no
+#: trace buffer is recording (checked before `active()` on the fast
+#: path — a plain module bool, one attribute load when everything is
+#: off)
+stacks_wanted = False
+_ids = itertools.count(1)  # span correlation ids (next() is atomic)
 
 
 def _telemetry_trace_mode() -> bool:
@@ -173,7 +186,22 @@ def _stack() -> list:
     st = getattr(_local, "stack", None)
     if st is None:
         st = _local.stack = []
+        with _lock:
+            _stacks[threading.get_native_id()] = st
     return st
+
+
+def current_span_id() -> int | None:
+    """Correlation id of this thread's innermost open span, if any.
+
+    The id is also recorded in the span's exported ``args["span_id"]``,
+    so a structured event (:mod:`repro.telemetry.events`) emitted inside
+    the span links back to the exact trace record.
+    """
+    st = getattr(_local, "stack", None)
+    if not st:
+        return None
+    return st[-1][1]
 
 
 @contextmanager
@@ -184,14 +212,19 @@ def span(name: str, cat: str = "misc", lane: str | None = None, **args):
     ``args["parent"]`` so hierarchy survives even when a viewer flattens
     tracks.  A raising body is still recorded — where the time went
     matters most on the failing path — with ``args["error"]`` naming the
-    exception type.
+    exception type.  Each span carries a process-unique ``span_id``
+    (see :func:`current_span_id`) correlating it with structured events
+    and profiler samples; when only the profiler is running
+    (``stacks_wanted``) the stack is maintained but nothing is buffered.
     """
-    if not active():
+    record = active()
+    if not (record or stacks_wanted):
         yield
         return
     stack = _stack()
-    parent = stack[-1] if stack else None
-    stack.append(name)
+    parent = stack[-1][0] if stack else None
+    sid = next(_ids)
+    stack.append((name, sid, cat))
     t0 = time.perf_counter_ns()
     err: str | None = None
     try:
@@ -202,23 +235,25 @@ def span(name: str, cat: str = "misc", lane: str | None = None, **args):
     finally:
         t1 = time.perf_counter_ns()
         stack.pop()
-        fields = dict(args)
-        if parent is not None:
-            fields.setdefault("parent", parent)
-        if err is not None:
-            fields["error"] = err
-        _emit(
-            {
-                "name": name,
-                "cat": cat,
-                "ph": "X",
-                "ts": round((t0 - _epoch_ns) / 1e3, 3),
-                "dur": round((t1 - t0) / 1e3, 3),
-                "pid": os.getpid(),
-                "tid": _tid(lane),
-                "args": fields,
-            }
-        )
+        if record:
+            fields = dict(args)
+            fields["span_id"] = sid
+            if parent is not None:
+                fields.setdefault("parent", parent)
+            if err is not None:
+                fields["error"] = err
+            _emit(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": round((t0 - _epoch_ns) / 1e3, 3),
+                    "dur": round((t1 - t0) / 1e3, 3),
+                    "pid": os.getpid(),
+                    "tid": _tid(lane),
+                    "args": fields,
+                }
+            )
 
 
 def instant(name: str, cat: str = "misc", lane: str | None = None, **args) -> None:
@@ -246,6 +281,17 @@ def events() -> list[dict]:
     """Copy of the buffered events, in emission order."""
     with _lock:
         return [dict(e) for e in _events]
+
+
+def open_stacks() -> list[tuple[int, list]]:
+    """Snapshot of every thread's open-span stack (profiler read side).
+
+    Returns ``[(native_tid, stack), ...]`` where each stack is the
+    *live* list of ``(name, span_id, cat)`` frames — read its top with
+    ``stack[-1]`` under try/except, tolerating concurrent pops.
+    """
+    with _lock:
+        return list(_stacks.items())
 
 
 def _metadata_events() -> list[dict]:

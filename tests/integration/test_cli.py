@@ -45,7 +45,9 @@ def test_stats_reports_telemetry(tmp_path):
 
     doc = json.loads(bench.read_text())
     assert doc["schema"] == "snowflake-telemetry/1"
+    assert doc["stats_schema"] == "snowflake-stats/1"
     assert doc["kernels"], "smoke kernel calls must be recorded"
+    assert doc["histograms"]["kernel.call"], "latency histogram missing"
 
 
 def test_stats_respects_off_mode():
@@ -59,6 +61,82 @@ def test_stats_respects_off_mode():
     )
     assert proc.returncode == 0
     assert "telemetry is off" in proc.stdout
+
+
+def test_stats_openmetrics_exposition():
+    from repro.telemetry.metrics import validate_openmetrics
+
+    proc = run_cli(
+        "stats", "--size", "16", "--calls", "1", "--backend", "numpy",
+        "--openmetrics",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert validate_openmetrics(proc.stdout) == []
+    assert proc.stdout.endswith("# EOF\n")
+    assert "snowflake_kernel_calls_total" in proc.stdout
+    assert "snowflake_kernel_call_seconds_bucket" in proc.stdout
+
+
+def test_serve_metrics_scrapes(tmp_path):
+    import re
+    import signal
+    import urllib.request
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-metrics", "--port", "0",
+         "--size", "16", "--calls", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        m = re.search(r"http://([\d.]+):(\d+)/metrics", banner)
+        assert m, f"no endpoint in banner: {banner!r}"
+        host, port = m.group(1), int(m.group(2))
+        body = urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=30
+        ).read().decode()
+        from repro.telemetry.metrics import validate_openmetrics
+
+        assert validate_openmetrics(body) == []
+        assert "snowflake_kernel_calls_total" in body
+        hz = urllib.request.urlopen(
+            f"http://{host}:{port}/healthz", timeout=30
+        )
+        assert hz.read() == b"ok\n"
+    finally:
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=60) == 0
+
+
+def test_top_prints_profile_table():
+    proc = run_cli(
+        "top", "--backend", "numpy", "--size", "48", "--calls", "8",
+        "--interval", "1.0", timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "sampler:" in proc.stdout
+    assert "overhead" in proc.stdout
+    assert "budget" in proc.stdout
+
+
+def test_artifact_dir_redirects_bare_filenames(tmp_path):
+    import json
+    import os
+
+    env = dict(
+        os.environ,
+        SNOWFLAKE_ARTIFACT_DIR=str(tmp_path / "artifacts"),
+        PYTHONPATH="src",
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "stats", "--size", "16",
+         "--calls", "1", "--backend", "numpy", "--json", "BENCH_cli.json"],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    redirected = tmp_path / "artifacts" / "BENCH_cli.json"
+    assert redirected.exists()
+    assert json.loads(redirected.read_text())["schema"]
 
 
 def test_figures_passthrough():

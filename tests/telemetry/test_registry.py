@@ -135,6 +135,51 @@ class TestTrace:
         assert trace[-1]["i"] == telemetry.TRACE_CAPACITY + 49
 
 
+class TestSnapshotSchema:
+    def test_snapshot_is_tagged(self):
+        snap = telemetry.snapshot()
+        assert snap["schema"] == telemetry.STATS_SCHEMA == "snowflake-stats/1"
+
+    def test_snapshot_carries_histogram_section(self):
+        telemetry.record_time("t", 0.1)
+        snap = telemetry.snapshot()
+        assert snap["histograms"]["t"][0]["count"] == 1
+
+    def test_snapshot_under_concurrent_key_registration(self):
+        # regression companion to the shard-registration race: threads
+        # minting brand-new counter/timer/kernel keys while the main
+        # thread snapshots must never raise or lose an entry
+        stop = threading.Event()
+        started = threading.Barrier(4)
+
+        def churn(tag):
+            started.wait()
+            for i in range(300):
+                telemetry.count(f"c.{tag}.{i}")
+                telemetry.record_time(f"t.{tag}.{i}", 0.001)
+                telemetry.kernel_call(f"b{tag}", 0.001, 10)
+            stop.set()
+
+        threads = [
+            threading.Thread(target=churn, args=(t,)) for t in range(3)
+        ]
+        for t in threads:
+            t.start()
+        started.wait()
+        while not stop.is_set():
+            snap = telemetry.snapshot()
+            json.dumps(snap)  # a torn snapshot would not serialize
+        for t in threads:
+            t.join()
+        snap = telemetry.snapshot()
+        assert sum(
+            1 for k in snap["counters"] if k.startswith("c.")
+        ) == 3 * 300
+        assert sum(
+            1 for k in snap["timers"] if k.startswith("t.")
+        ) == 3 * 300
+
+
 class TestReset:
     def test_reset_zeroes_everything(self):
         telemetry.count("x")
@@ -159,6 +204,20 @@ class TestExport:
         assert set(doc["host"]) == {"platform", "machine", "python"}
         assert doc["counters"]["x"] == 3
         assert doc["kernels"]["c"]["points_per_s"] == pytest.approx(1000.0)
+
+    def test_bench_json_keeps_stats_schema_alongside(self, tmp_path):
+        # the bench envelope owns "schema"; the embedded registry
+        # snapshot's tag is preserved under "stats_schema"
+        path = telemetry.export_bench_json(tmp_path / "BENCH_x.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == telemetry.BENCH_SCHEMA
+        assert doc["stats_schema"] == telemetry.STATS_SCHEMA
+
+    def test_bench_json_honours_artifact_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_ARTIFACT_DIR", str(tmp_path / "art"))
+        path = telemetry.export_bench_json("BENCH_env.json")
+        assert path.parent == tmp_path / "art"
+        assert path.exists()
 
 
 class TestReport:
