@@ -26,6 +26,10 @@ Commands:
 * ``bench``     — time the paper's three operators per backend and
                   attribute each rate against the machine roofline;
                   writes the ``BENCH_kernels.json`` artifact
+* ``tune``      — cost-model-guided schedule search (beam/annealing)
+                  over one paper operator; prints the trial table and
+                  persists the winner to the tuning cache so later
+                  ``schedule_for`` calls reload it transparently
 * ``figures``   — alias for ``python -m repro.figures ...``
 """
 
@@ -316,6 +320,14 @@ def cmd_explain(args) -> int:
         group, shapes, backend=args.backend, policy=args.policy,
         **options,
     )
+    if args.transforms:
+        # Just the composable-rewrite expansion of the preset.
+        if args.json:
+            print(json.dumps(list(prov.transforms), indent=2))
+        else:
+            for t in prov.transforms:
+                print(t)
+        return 0
     dmem_doc = None
     dmem_text = None
     if args.dmem:
@@ -410,6 +422,76 @@ def cmd_bench(args) -> int:
         print(f"regression check vs {args.check}: PASS "
               f"(tolerance {float(args.tolerance) * 100:.0f}%)")
     return 0
+
+
+def cmd_tune(args) -> int:
+    """Cost-model-guided schedule search over one paper operator.
+
+    Predicts every candidate with the analytic roofline model, measures
+    only the most promising ones (``--budget`` caps measured trials),
+    prints the trial table, and persists the winner to the tuning cache
+    — a later process calling :func:`repro.schedule.schedule_for` with
+    no explicit options transparently reloads it.
+    """
+    import json
+
+    import numpy as np
+
+    from .bench import paper_operators
+    from .core.stencil import StencilGroup
+    from .tuning import search_schedules
+    from .util.artifacts import artifact_path
+
+    n = int(args.size)
+    operators = paper_operators(n)
+    if args.op not in operators:
+        print(f"unknown operator {args.op!r}; "
+              f"choose one of {', '.join(sorted(operators))}")
+        return 2
+    stencil = operators[args.op]
+    group = StencilGroup([stencil], name=args.op)
+    rng = np.random.default_rng(int(args.seed))
+    shapes = {}
+    arrays = {}
+    for st in group:
+        for g in st.grids():
+            if g not in arrays:
+                shape = (n + 2,) * st.ndim
+                shapes[g] = shape
+                arrays[g] = rng.standard_normal(shape)
+    result = search_schedules(
+        group, arrays,
+        backend=args.backend,
+        budget=int(args.budget),
+        repeats=int(args.repeats),
+        strategy=args.strategy,
+        spec=args.spec,
+        seed=int(args.seed),
+        persist=not args.no_persist,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"tune {args.op} via {args.backend} "
+              f"({args.strategy}, budget {args.budget}, spec {args.spec})")
+        print()
+        print(result.table())
+        print()
+        if result.best is None:
+            print("no candidate could be measured")
+        else:
+            print(f"winner: {result.best.describe()} "
+                  f"({result.best_measured_s * 1e6:.1f}us measured, "
+                  f"{result.best_predicted_s * 1e6:.1f}us predicted)")
+            print("persisted: " + ("no (--no-persist)" if args.no_persist
+                                   else "yes (tuning cache)"))
+    if args.out:
+        out = artifact_path(args.out)
+        out.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {out}", file=sys.stderr if args.json else sys.stdout)
+    return 0 if result.best is not None else 1
 
 
 _PROBE_SRC = "double sf_doctor_probe(void){ return 42.0; }\n"
@@ -684,6 +766,11 @@ def main(argv=None) -> int:
         "guard configuration",
     )
     ex.add_argument(
+        "--transforms", action="store_true",
+        help="print only the composable transform pipeline the "
+        "scheduling preset expands to",
+    )
+    ex.add_argument(
         "--json", action="store_true",
         help="emit the provenance as JSON instead of the report",
     )
@@ -730,6 +817,56 @@ def main(argv=None) -> int:
         "tile depths, each >= 2) and record per-application throughput, "
         "speedup and the swept-cost prediction",
     )
+    tu = sub.add_parser(
+        "tune",
+        help="cost-model-guided schedule search; persists the winner",
+    )
+    tu.add_argument(
+        "--backend", default="c",
+        help="backend to tune for (default: c)",
+    )
+    tu.add_argument(
+        "--op", default="cc_7pt",
+        help="paper operator: cc_7pt, cc_jacobi, vc_gsrb "
+        "(default: cc_7pt)",
+    )
+    tu.add_argument(
+        "--size", type=int, default=32,
+        help="interior cubic grid edge length (default: 32)",
+    )
+    tu.add_argument(
+        "--budget", type=int, default=12,
+        help="maximum candidates actually measured (default: 12)",
+    )
+    tu.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed applications per candidate, best-of (default: 3)",
+    )
+    tu.add_argument(
+        "--strategy", default="beam", choices=("beam", "anneal"),
+        help="search strategy (default: beam)",
+    )
+    tu.add_argument(
+        "--spec", default="paper-cpu",
+        help="machine model guiding predictions: host, paper-cpu, "
+        "paper-gpu (default: paper-cpu)",
+    )
+    tu.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for array data and annealing moves (default: 0)",
+    )
+    tu.add_argument(
+        "--json", action="store_true",
+        help="emit the full search result as JSON instead of the table",
+    )
+    tu.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the search result JSON to PATH",
+    )
+    tu.add_argument(
+        "--no-persist", action="store_true",
+        help="do not write the winner to the tuning cache",
+    )
     fig = sub.add_parser("figures", help="regenerate paper figures")
     fig.add_argument("rest", nargs=argparse.REMAINDER)
     args = ap.parse_args(argv)
@@ -753,6 +890,8 @@ def main(argv=None) -> int:
         return cmd_explain(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "tune":
+        return cmd_tune(args)
     if args.command == "figures":
         from .figures.__main__ import main as fig_main
 

@@ -103,6 +103,7 @@ def generate_c_source(
             ctx, group[chain[0]], tile=sched.options.tile,
             parity=step.sweep, snapshot_name=None,
             fused_with=[group[i] for i in chain[1:]],
+            unroll=sched.options.unroll,
         )
         for l in loops.emit_wavefront(tt.k):
             lines.append("  " + l)
@@ -120,7 +121,7 @@ def generate_c_source(
             snap = f"snap_{si}"
             loops = StencilLoops(
                 ctx, stencil, tile=sched.options.tile, parity=step.sweep,
-                snapshot_name=snap,
+                snapshot_name=snap, unroll=sched.options.unroll,
             )
             body.append("{")
             for l in snapshot_decl(ctx, stencil, snap):
@@ -133,6 +134,7 @@ def generate_c_source(
             loops = StencilLoops(
                 ctx, stencil, tile=sched.options.tile, parity=step.sweep,
                 snapshot_name=None, fused_with=fused,
+                unroll=sched.options.unroll,
             )
             body.extend(loops.emit())
     if tt is not None:
@@ -219,7 +221,7 @@ class CBackend(Backend):
     #: to change the vocabulary without touching the specialize pipeline
     _KNOBS: Mapping[str, object] = {
         "schedule": "greedy", "tile": None, "multicolor": True,
-        "fuse": False, "time_tile": 1,
+        "fuse": False, "time_tile": 1, "unroll": None,
     }
 
     def _schedule_spec(self, options: dict):

@@ -325,6 +325,11 @@ class StencilLoops:
     ``parity`` is the schedule's multicolor verdict for this stencil:
     a :class:`~repro.schedule.ir.ParityClass` selects the fused dense
     nest, ``None`` emits one nest per domain box.
+
+    ``unroll`` emits ``#pragma GCC unroll N`` immediately before each
+    innermost loop — a pure performance hint (the arithmetic and its
+    order are unchanged, so results stay bitwise identical); ``None``
+    emits nothing.
     """
 
     def __init__(
@@ -336,12 +341,14 @@ class StencilLoops:
         parity: ParityClass | None = None,
         snapshot_name: str | None = None,
         fused_with: Sequence[Stencil] = (),
+        unroll: int | None = None,
     ) -> None:
         self.ctx = ctx
         self.stencil = stencil
         self.tile = tile
         self.parity = parity
         self.snapshot_name = snapshot_name
+        self.unroll = unroll
         self.fused_with = tuple(fused_with)
         if self.fused_with and snapshot_name is not None:
             raise ValueError("fused clusters must be snapshot-free")
@@ -444,6 +451,8 @@ class StencilLoops:
             step = st if st > 0 else 1
             lo_s, hi_s = bounds.get(d, (str(lo), str(lo + st * (ct - 1))))
             v = loopvars[d]
+            if d == nd - 1 and self.unroll:
+                lines.append(indent + f"#pragma GCC unroll {self.unroll}")
             lines.append(
                 indent
                 + f"for (int64_t {v} = {lo_s}; {v} <= {hi_s}; {v} += {step}) {{"
@@ -484,6 +493,8 @@ class StencilLoops:
             + f"const int64_t s{last} = {pc.base[last]} + "
             f"((({pc.parity} - ({off_sum})) % 2 + 2) % 2);"
         )
+        if self.unroll:
+            lines.append(indent + f"#pragma GCC unroll {self.unroll}")
         lines.append(
             indent
             + f"for (int64_t {loopvars[last]} = s{last}; "
@@ -616,6 +627,8 @@ class StencilLoops:
                     f"const int64_t e{d} = (t{d} + {step * (self.tile - 1)} "
                     f"< {hi}) ? t{d} + {step * (self.tile - 1)} : {hi};"
                 )
+                if d == nd - 1 and self.unroll:
+                    add(f"#pragma GCC unroll {self.unroll}")
                 add(f"for (int64_t {v} = t{d}; {v} <= e{d}; {v} += {step}) {{")
                 indent += "  "
             else:
@@ -625,6 +638,8 @@ class StencilLoops:
                     add("{")
                     indent += "  "
                     task_pragma = None  # consume
+                if d == nd - 1 and self.unroll:
+                    add(f"#pragma GCC unroll {self.unroll}")
                 add(f"for (int64_t {v} = {lo}; {v} <= {hi}; {v} += {step}) {{")
                 indent += "  "
         for s in self._store_stmt(loopvars):
@@ -686,6 +701,8 @@ class StencilLoops:
             f"const int64_t s{last} = {pc.base[last]} + "
             f"((({pc.parity} - ({off_sum})) % 2 + 2) % 2);"
         )
+        if self.unroll:
+            add(f"#pragma GCC unroll {self.unroll}")
         add(
             f"for (int64_t {loopvars[last]} = s{last}; "
             f"{loopvars[last]} <= {pc.high[last]}; {loopvars[last]} += 2) {{"

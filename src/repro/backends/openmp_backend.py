@@ -86,6 +86,7 @@ def generate_openmp_source(
                     ctx, head, tile=sched.options.tile, parity=step.sweep,
                     snapshot_name=snap,
                     fused_with=[group[i] for i in step.stencils[1:]],
+                    unroll=sched.options.unroll,
                 )
             )
         step_loops.append(row)
@@ -171,7 +172,7 @@ class OpenMPBackend(CBackend):
 
     _KNOBS = {
         "schedule": "greedy", "tile": 8, "multicolor": True, "fuse": False,
-        "time_tile": 1,
+        "time_tile": 1, "unroll": None,
     }
 
     def generate(self, group, shapes, dtype, *, schedule=None) -> str:

@@ -128,6 +128,10 @@ class GroupProvenance:
     #: :meth:`repro.kernel.cost.SweptCost.to_dict`) when the schedule
     #: carries a time tile; None otherwise
     swept: dict | None = None
+    #: the composable transform pipeline the scheduling preset expands
+    #: to (:func:`repro.transform.preset_pipeline` descriptions, after
+    #: the ``base_schedule`` seed); empty for knob-less backends
+    transforms: tuple = ()
 
     def to_dict(self) -> dict:
         """JSON-able view (frozensets become sorted lists)."""
@@ -169,6 +173,7 @@ class GroupProvenance:
             ],
             "artifact": self.artifact,
             "swept": self.swept,
+            "transforms": list(self.transforms),
         }
 
     def render(self) -> str:
@@ -197,6 +202,11 @@ class GroupProvenance:
             lines.append("schedule:")
             for l in self.schedule.describe().splitlines():
                 lines.append("  " + l)
+        if self.transforms:
+            lines.append("")
+            lines.append("transform pipeline (the preset as rewrites):")
+            for t in self.transforms:
+                lines.append(f"  {t}")
         if self.swept is not None:
             lines.append("")
             lines.append("time-tile traffic prediction (cache-resident tiles):")
@@ -279,6 +289,15 @@ def explain(
             for st in group:
                 body, _ = body_for(st)
                 swept[st.name] = swept_cost(body, st.output, k).to_dict()
+        transforms: tuple = ()
+        if sched is not None:
+            from .transform import preset_pipeline
+
+            transforms = (
+                f"base_schedule(policy={sched.options.policy!r})",
+            ) + tuple(
+                t.describe() for t in preset_pipeline(sched.options)
+            )
         artifact = be.artifact_info(group, shapes, dtype, **options)
     return GroupProvenance(
         group=group.name,
@@ -289,4 +308,5 @@ def explain(
         artifact=artifact,
         schedule=sched,
         swept=swept,
+        transforms=transforms,
     )

@@ -285,36 +285,32 @@ def group_fma(expr: KExpr) -> tuple[KExpr, int]:
 
 
 def optimize_kernel(raw: KernelBody) -> tuple[KernelBody, OptReport]:
-    """Run the full pipeline on a raw body; returns (body, report)."""
+    """Run the full pipeline on a raw body; returns (body, report).
+
+    The pipeline is the fixed transform sequence
+    :func:`repro.transform.kernel_pipeline` (fold → CSE → hoist → FMA);
+    each transform records its tally and this driver assembles the
+    report.  Composing the same transforms by hand through
+    :mod:`repro.transform` produces bitwise-identical bodies.
+    """
+    # Imported lazily: repro.transform imports this module for the
+    # underlying pass functions.
+    from ..transform.kernel_tx import kernel_pipeline
+
     nodes_before = raw.node_count()
-
-    folded = [0]
-
-    def fold(e: KExpr) -> KExpr:
-        out, k = fold_constants(e)
-        folded[0] += k
-        return out
-
-    body = raw.map_exprs(fold)
-    body, reads_deduped, cse_bound = _cse(body)
-    body = _hoist(body)
-
-    fmas = [0]
-
-    def fma(e: KExpr) -> KExpr:
-        out, k = group_fma(e)
-        fmas[0] += k
-        return out
-
-    body = body.map_exprs(fma)
+    tallies: dict[str, int] = {}
+    body = raw
+    for t in kernel_pipeline():
+        body = t(body)
+        tallies.update(t.tally)
 
     report = OptReport(
         nodes_before=nodes_before,
         nodes_after=body.node_count(),
-        consts_folded=folded[0],
-        reads_deduped=reads_deduped,
-        cse_bound=cse_bound,
-        bindings_hoisted=len(body.scalar_lets()),
-        fma_grouped=fmas[0],
+        consts_folded=tallies.get("consts_folded", 0),
+        reads_deduped=tallies.get("reads_deduped", 0),
+        cse_bound=tallies.get("cse_bound", 0),
+        bindings_hoisted=tallies.get("bindings_hoisted", 0),
+        fma_grouped=tallies.get("fma_grouped", 0),
     )
     return body, report

@@ -21,6 +21,7 @@ from .ir import (
 )
 from .lower import (
     as_schedule,
+    base_schedule,
     build_schedule,
     fusion_chains,
     pop_schedule_spec,
@@ -36,6 +37,7 @@ __all__ = [
     "Step",
     "detect_parity_class",
     "as_schedule",
+    "base_schedule",
     "build_schedule",
     "fusion_chains",
     "pop_schedule_spec",

@@ -40,6 +40,7 @@ from .options import ScheduleOptions
 __all__ = [
     "fusion_chains",
     "time_tile_verdict",
+    "base_schedule",
     "build_schedule",
     "schedule_for",
     "as_schedule",
@@ -259,14 +260,16 @@ def _plan_time_tile(
     if refusals:
         detail = "; ".join(e.basis for e in refusals)
         from .. import telemetry
+        from ..transform.base import TransformError
 
         telemetry.count("schedule.time_tile.refusals")
         telemetry.event(
             "schedule.time_tile.refused",
             group=group.name, k=k, detail=detail,
         )
-        raise ValueError(
-            f"time_tile={k} is not legal for group {group.name!r}: {detail}"
+        raise TransformError(
+            f"time_tile={k} is not legal for group {group.name!r}: {detail}",
+            refusals=tuple(refusals),
         )
     if len(steps) == 1 and slope == 0:
         kind = "wavefront"
@@ -292,6 +295,32 @@ def _plan_time_tile(
     return TimeTile(k=k, kind=kind, slope=slope, evidence=tuple(evidence))
 
 
+def base_schedule(
+    group: StencilGroup,
+    shapes: Mapping[str, Sequence[int]],
+    policy: str = "greedy",
+) -> Schedule:
+    """The untransformed schedule: the dependence plan, nothing else.
+
+    One singleton step per stencil in plan-phase order, each tagged with
+    its parallel/snapshot verdict; no fusion, no sweep recognition, no
+    tiling.  This is the starting point every
+    :class:`~repro.transform.base.Transform` rewrites — and what
+    :func:`build_schedule` feeds the preset pipeline.
+    """
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    options = ScheduleOptions(policy=policy, multicolor=False)
+    exec_plan = plan(group, norm, policy=policy)
+    hazards = [intra_stencil_hazards(s, norm) for s in group]
+    phases: list[SchedulePhase] = []
+    for pi, phase in enumerate(exec_plan.phases):
+        steps = tuple(
+            _make_step(group, norm, [si], hazards, options) for si in phase
+        )
+        phases.append(SchedulePhase(pi, steps))
+    return Schedule(group, norm, options, exec_plan, tuple(phases), None)
+
+
 def build_schedule(
     group: StencilGroup,
     shapes: Mapping[str, Sequence[int]],
@@ -299,48 +328,51 @@ def build_schedule(
 ) -> Schedule:
     """Lower ``group`` to a :class:`Schedule` under ``options``.
 
-    Runs the dependence plan, phase-local fusion chaining, per-stencil
-    hazard (snapshot) analysis and checkerboard recognition, tagging
-    every decision with its legalizing evidence.
+    A thin preset over the transform API: :func:`base_schedule` runs the
+    dependence plan and per-stencil hazard (snapshot) analysis, then the
+    pipeline :func:`repro.transform.preset.preset_pipeline` renders from
+    ``options`` applies fusion chaining, checkerboard recognition,
+    tiling and temporal blocking — every rewrite re-validated and tagged
+    with its legalizing evidence.
     """
     options = options or ScheduleOptions()
     norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    from ..transform.preset import preset_pipeline
+
     with tracing.span(
         "schedule", cat="analysis", group=group.name,
         policy=options.policy, fuse=options.fuse,
         multicolor=options.multicolor,
     ):
-        exec_plan = plan(group, norm, policy=options.policy)
-        hazards = [intra_stencil_hazards(s, norm) for s in group]
-        chains = (
-            fusion_chains(
-                group, norm, deps=exec_plan.dependences,
-                within=exec_plan.phases,
-            )
-            if options.fuse
-            else [[i] for ph in exec_plan.phases for i in ph]
-        )
-        chain_of_head = {c[0]: c for c in chains}
+        sched = base_schedule(group, norm, options.policy)
+        sched = preset_pipeline(options)(sched)
+    return sched
 
-        phases: list[SchedulePhase] = []
-        for pi, phase in enumerate(exec_plan.phases):
-            steps: list[Step] = []
-            emitted: set[int] = set()
-            for si in phase:
-                if si in emitted:
-                    continue
-                chain = chain_of_head.get(si, [si])
-                emitted.update(chain)
-                steps.append(_make_step(group, norm, chain, hazards, options))
-            phases.append(SchedulePhase(pi, tuple(steps)))
-        time_tile = (
-            _plan_time_tile(group, norm, phases, options.time_tile)
-            if options.time_tile > 1
-            else None
-        )
-    return Schedule(
-        group, norm, options, exec_plan, tuple(phases), time_tile
+
+def _sweep_verdict(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    head_index: int,
+) -> tuple[ParityClass | None, Evidence | None]:
+    """Checkerboard recognition for one step head: ``(sweep, evidence)``.
+
+    ``(None, None)`` when the head's domain is not a parity class —
+    recognition simply does not apply (that is not a refusal).
+    """
+    head = group[head_index]
+    it_shape = iteration_shape(head, shapes)
+    rects = [r for r in head.domain.resolve(it_shape) if not r.is_empty()]
+    sweep = detect_parity_class(rects)
+    if sweep is None:
+        return None, None
+    ev = Evidence(
+        "multicolor",
+        f"{len(rects)} stride-2 boxes exactly tile parity "
+        f"{sweep.parity} of the dense box "
+        f"{list(sweep.base)}..{list(sweep.high)}; reordered "
+        "into one parity-corrected sweep",
     )
+    return sweep, ev
 
 
 def _make_step(group, shapes, chain, hazards, options) -> Step:
@@ -379,21 +411,9 @@ def _make_step(group, shapes, chain, hazards, options) -> Step:
         )
     sweep: ParityClass | None = None
     if options.multicolor:
-        it_shape = iteration_shape(head, shapes)
-        rects = [
-            r for r in head.domain.resolve(it_shape) if not r.is_empty()
-        ]
-        sweep = detect_parity_class(rects)
-        if sweep is not None:
-            evidence.append(
-                Evidence(
-                    "multicolor",
-                    f"{len(rects)} stride-2 boxes exactly tile parity "
-                    f"{sweep.parity} of the dense box "
-                    f"{list(sweep.base)}..{list(sweep.high)}; reordered "
-                    "into one parity-corrected sweep",
-                )
-            )
+        sweep, sweep_ev = _sweep_verdict(group, shapes, si)
+        if sweep_ev is not None:
+            evidence.append(sweep_ev)
     return Step(
         stencils=tuple(chain),
         parallel=parallel,
@@ -406,6 +426,35 @@ def _make_step(group, shapes, chain, hazards, options) -> Step:
 # ---------------------------------------------------------------------------
 # memoized construction + option resolution (the backends' entry points)
 # ---------------------------------------------------------------------------
+
+
+def _tuned_or_default(
+    group: StencilGroup,
+    norm: Mapping[str, tuple[int, ...]],
+    base: ScheduleOptions | None = None,
+) -> ScheduleOptions:
+    """Resolve a caller's "no preference" to persisted winner or default.
+
+    Looks up the tuning cache (:mod:`repro.tuning.cache`) for this
+    group/shapes on this machine.  Any cache problem — unreadable file,
+    schema mismatch, missing toolchain for the fingerprint — falls back
+    to the defaults; tuning must never break compilation.
+    """
+    import os
+
+    fallback = base if base is not None else ScheduleOptions()
+    if os.environ.get("SNOWFLAKE_TUNED", "1").strip().lower() in (
+        "0", "off", "no", "false", "",
+    ):
+        return fallback
+    try:
+        from ..tuning.cache import tuned_options
+
+        opts = tuned_options(group, norm)
+    except Exception:
+        return fallback
+    return opts if opts is not None else fallback
+
 
 _CACHE: OrderedDict[tuple, Schedule] = OrderedDict()
 _CACHE_LOCK = threading.Lock()
@@ -426,8 +475,15 @@ def schedule_for(
     misses on the same key serialize on a per-key build lock (one build,
     everyone else waits for the memo), while builds for *different* keys
     still proceed in parallel.
+
+    When ``options`` is ``None`` (the caller expressed no preference) a
+    persisted tuning winner for this group/shapes — if one exists in the
+    artifact cache for this machine — is transparently loaded and used
+    instead of the defaults.  Set ``SNOWFLAKE_TUNED=0`` to disable.
     """
-    options = options or ScheduleOptions()
+    if options is None:
+        norm0 = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+        options = _tuned_or_default(group, norm0)
     norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
     key = (group.signature(), tuple(sorted(norm.items())), options)
     with _CACHE_LOCK:
@@ -484,6 +540,10 @@ def as_schedule(
     if isinstance(spec, ScheduleOptions):
         return schedule_for(group, norm, spec)
     base = options or ScheduleOptions()
+    if spec == "tuned":
+        # Explicit opt-in to the persisted tuning winner: use it when
+        # one exists for this group/shapes/machine, else the base knobs.
+        return schedule_for(group, norm, _tuned_or_default(group, norm, base))
     if isinstance(spec, str):
         base = replace(base, policy=spec)
     elif spec is not None:

@@ -46,6 +46,11 @@ class ScheduleOptions:
         footprint is a bounded halo and no step needs a gather
         snapshot — :func:`~repro.schedule.build_schedule` refuses
         otherwise, with evidence.
+    ``unroll``
+        Innermost-loop unroll factor hint for the C-family targets
+        (emitted as ``#pragma GCC unroll N``); a pure performance hint
+        — the generated arithmetic is unchanged, so results stay
+        bitwise identical.  ``None`` (the default) emits no pragma.
     """
 
     policy: str = "greedy"
@@ -54,6 +59,7 @@ class ScheduleOptions:
     tile: int | None = None
     block: tuple[int, int] | None = None
     time_tile: int = 1
+    unroll: int | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -81,6 +87,13 @@ class ScheduleOptions:
                 f"time_tile must be a positive int, got {self.time_tile!r}"
             )
         object.__setattr__(self, "time_tile", k)
+        if self.unroll is not None:
+            u = int(self.unroll)
+            if u < 1:
+                raise ValueError(
+                    f"unroll must be a positive int, got {self.unroll!r}"
+                )
+            object.__setattr__(self, "unroll", u)
 
     def to_dict(self) -> dict:
         return {
@@ -90,6 +103,7 @@ class ScheduleOptions:
             "tile": self.tile,
             "block": list(self.block) if self.block is not None else None,
             "time_tile": self.time_tile,
+            "unroll": self.unroll,
         }
 
     def describe(self) -> str:
@@ -102,6 +116,8 @@ class ScheduleOptions:
             parts.append(f"block={self.block[0]}x{self.block[1]}")
         if self.time_tile > 1:
             parts.append(f"time_tile={self.time_tile}")
+        if self.unroll is not None:
+            parts.append(f"unroll={self.unroll}")
         return " ".join(parts)
 
 

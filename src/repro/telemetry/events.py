@@ -80,6 +80,9 @@ KNOWN_EVENTS = (
     "dmem.checkpoint",
     "dmem.restore",
     "schedule.time_tile.refused",
+    "tuning.trial",
+    "tuning.candidate.refused",
+    "tuning.winner",
 )
 
 _lock = threading.Lock()

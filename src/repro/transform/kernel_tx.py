@@ -1,0 +1,130 @@
+"""Kernel transforms: the pass pipeline as composable rewrite objects.
+
+Each transform wraps one pass from :mod:`repro.kernel.optimize` (fold →
+CSE → hoist → FMA) and records what it did in ``self.tally`` so
+:func:`repro.kernel.optimize.optimize_kernel` — now a thin driver over
+:func:`kernel_pipeline` — can assemble the same
+:class:`~repro.kernel.optimize.OptReport` it always produced.  All four
+passes are bitwise semantics preserving on IEEE doubles (see the
+:mod:`~repro.kernel.optimize` module docstring), so any composition of
+them is too.
+"""
+
+from __future__ import annotations
+
+from ..kernel.ir import KernelBody, KExpr
+from ..kernel.optimize import _cse, _hoist, fold_constants, group_fma
+from .base import Pipeline, Transform
+
+__all__ = [
+    "FoldConstants",
+    "Cse",
+    "Hoist",
+    "FmaGroup",
+    "kernel_pipeline",
+    "hoist",
+    "fma_group",
+    "cse",
+    "fold",
+]
+
+
+class FoldConstants(Transform):
+    """Evaluate pure-constant subtrees; strip exact ``*1.0`` identities."""
+
+    name = "fold_constants"
+
+    def __init__(self) -> None:
+        self.tally: dict[str, int] = {}
+
+    def apply_kernel(self, body: KernelBody) -> KernelBody:
+        folded = [0]
+
+        def go(e: KExpr) -> KExpr:
+            out, k = fold_constants(e)
+            folded[0] += k
+            return out
+
+        out = body.map_exprs(go)
+        self.tally = {"consts_folded": folded[0]}
+        return out
+
+
+class Cse(Transform):
+    """Bind every subexpression occurring twice or more to a let."""
+
+    name = "cse"
+
+    def __init__(self) -> None:
+        self.tally: dict[str, int] = {}
+
+    def apply_kernel(self, body: KernelBody) -> KernelBody:
+        out, deduped, bound = _cse(body)
+        self.tally = {"reads_deduped": deduped, "cse_bound": bound}
+        return out
+
+
+class Hoist(Transform):
+    """Extract load-free subtrees into the depth-0 scalar prelude."""
+
+    name = "hoist"
+
+    def __init__(self) -> None:
+        self.tally: dict[str, int] = {}
+
+    def apply_kernel(self, body: KernelBody) -> KernelBody:
+        out = _hoist(body)
+        # FMA grouping never adds or removes lets, so this count equals
+        # the final body's scalar-prelude size (what OptReport records).
+        self.tally = {"bindings_hoisted": len(out.scalar_lets())}
+        return out
+
+
+class FmaGroup(Transform):
+    """Rewrite ``x + a*b`` into structural (separately rounded) FMAs."""
+
+    name = "fma_group"
+
+    def __init__(self) -> None:
+        self.tally: dict[str, int] = {}
+
+    def apply_kernel(self, body: KernelBody) -> KernelBody:
+        fmas = [0]
+
+        def go(e: KExpr) -> KExpr:
+            out, k = group_fma(e)
+            fmas[0] += k
+            return out
+
+        out = body.map_exprs(go)
+        self.tally = {"fma_grouped": fmas[0]}
+        return out
+
+
+def kernel_pipeline() -> Pipeline:
+    """The canonical pass sequence ``optimize_kernel`` runs, as transforms.
+
+    Fresh instances every call — the transforms are stateful (each
+    records its ``tally``), so pipelines must not be shared between
+    optimizations.
+    """
+    return Pipeline((FoldConstants(), Cse(), Hoist(), FmaGroup()))
+
+
+# factories, matching the schedule-transform spelling
+
+
+def fold() -> FoldConstants:
+    return FoldConstants()
+
+
+def cse() -> Cse:
+    return Cse()
+
+
+def hoist() -> Hoist:
+    return Hoist()
+
+
+def fma_group() -> FmaGroup:
+    return FmaGroup()

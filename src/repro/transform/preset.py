@@ -1,0 +1,44 @@
+"""Presets: render a :class:`ScheduleOptions` record as a pipeline.
+
+This is what makes ``ScheduleOptions`` a *thin veneer* over the
+transform API: :func:`repro.schedule.build_schedule` lowers the
+dependence plan to a base schedule and applies exactly this pipeline.
+The transform order is fixed so the preset reproduces the historical
+single-pass lowering bit-for-bit (fusion before sweep recognition keeps
+the evidence order ``parallel, snapshot?, fuse?, multicolor?``; knob
+rewrites after both; temporal blocking last, over the final step
+structure).
+"""
+
+from __future__ import annotations
+
+from ..schedule.options import ScheduleOptions
+from .base import Pipeline
+from .schedule_tx import Block, ColorSweep, Fuse, Tile, TimeTile, Unroll
+
+__all__ = ["preset_pipeline"]
+
+
+def preset_pipeline(options: ScheduleOptions) -> Pipeline:
+    """The transform pipeline equivalent to lowering under ``options``.
+
+    Applied to :func:`repro.schedule.lower.base_schedule` output built
+    with ``options.policy``, the result carries ``options`` verbatim
+    (each transform sets the field it owns; untouched fields are the
+    base defaults) — so memo keys, ``describe()`` and backend knob
+    reads are unchanged by the refactor.
+    """
+    ts = []
+    if options.fuse:
+        ts.append(Fuse())
+    if options.multicolor:
+        ts.append(ColorSweep())
+    if options.tile is not None:
+        ts.append(Tile(options.tile))
+    if options.block is not None:
+        ts.append(Block(options.block))
+    if options.unroll is not None:
+        ts.append(Unroll(options.unroll))
+    if options.time_tile > 1:
+        ts.append(TimeTile(options.time_tile))
+    return Pipeline(tuple(ts))

@@ -1,4 +1,13 @@
-"""Autotuning utilities for the compiled micro-compilers."""
+"""Autotuning: fixed-grid timing, cost-model-guided search, and the
+persistent per-machine tuning cache.
+
+:func:`autotune_schedule` times an explicit candidate grid (the paper's
+Section IV-A surface); :func:`search_schedules` replaces enumeration
+with beam/annealing search guided by the analytic cost model, persisting
+winners via :mod:`repro.tuning.cache` so
+:func:`repro.schedule.schedule_for` transparently reloads them in later
+processes.
+"""
 
 from .autotune import (
     DEFAULT_CANDIDATES,
@@ -6,7 +15,23 @@ from .autotune import (
     TuneResult,
     autotune_schedule,
     autotune_tile,
+    check_tune_model,
     default_schedule_candidates,
+)
+from .cache import (
+    TUNE_SCHEMA,
+    load_winner,
+    machine_fingerprint,
+    save_winner,
+    tune_tag,
+    tuned_options,
+    winner_path,
+)
+from .search import (
+    SearchResult,
+    Trial,
+    predict_schedule_time,
+    search_schedules,
 )
 
 __all__ = [
@@ -15,5 +40,17 @@ __all__ = [
     "TuneResult",
     "autotune_schedule",
     "autotune_tile",
+    "check_tune_model",
     "default_schedule_candidates",
+    "TUNE_SCHEMA",
+    "load_winner",
+    "machine_fingerprint",
+    "save_winner",
+    "tune_tag",
+    "tuned_options",
+    "winner_path",
+    "SearchResult",
+    "Trial",
+    "predict_schedule_time",
+    "search_schedules",
 ]

@@ -16,6 +16,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..core.stencil import StencilGroup
 from ..schedule import ScheduleOptions, schedule_for
 from ..util.timing import best_of
@@ -26,6 +27,7 @@ __all__ = [
     "autotune_tile",
     "autotune_schedule",
     "default_schedule_candidates",
+    "check_tune_model",
 ]
 
 DEFAULT_CANDIDATES = (2, 4, 8, 16, 32, 64)
@@ -46,6 +48,10 @@ class ScheduleTuneResult:
 
     best: ScheduleOptions
     timings: tuple  # ((ScheduleOptions, seconds), ...) in candidate order
+    #: cost-model predictions aligned with ``timings`` — one predicted
+    #: seconds (or ``inf`` for a refused candidate) per entry; empty
+    #: when the tuner ran without a machine spec
+    predicted: tuple = ()
 
     def best_time(self) -> float:
         # The candidate list may contain duplicates (a caller-built grid
@@ -91,6 +97,7 @@ def autotune_schedule(
     backend: str = "c",
     candidates: Sequence[ScheduleOptions] | None = None,
     repeats: int = 3,
+    spec: "object | str" = "paper-cpu",
     **backend_options,
 ) -> ScheduleTuneResult:
     """Time ``group`` under each candidate schedule; pick the fastest.
@@ -101,12 +108,29 @@ def autotune_schedule(
     not per-backend kwargs.  ``arrays`` are working copies (the tuner
     mutates them — pass scratch grids, not live data); non-scheduling
     ``backend_options`` (e.g. ``cc_timeout``) flow through unchanged.
+
+    Alongside each measured time the result records the cost model's
+    *prediction* for the same candidate on ``spec``
+    (:func:`repro.tuning.search.predict_schedule_time`), so model drift
+    is visible next to ground truth; ``spec=None`` skips prediction.
     """
     params = dict(params or {})
     shapes = {g: tuple(int(x) for x in a.shape) for g, a in arrays.items()}
     if candidates is None:
         candidates = default_schedule_candidates()
     timings: list[tuple[ScheduleOptions, float]] = []
+    predicted: list[float] = []
+
+    def _predict(opts: ScheduleOptions) -> float:
+        if spec is None:
+            return float("inf")
+        from .search import predict_schedule_time
+
+        try:
+            return predict_schedule_time(group, shapes, opts, spec=spec)
+        except (ValueError, NotImplementedError):
+            return float("inf")
+
     for opts in candidates:
         try:
             sched = schedule_for(group, shapes, opts)
@@ -114,25 +138,44 @@ def autotune_schedule(
                 backend=backend, shapes=shapes, schedule=sched,
                 **backend_options,
             )
-        except (ValueError, NotImplementedError):
+        except (ValueError, NotImplementedError) as e:
             if opts.time_tile <= 1:
                 raise
             # Time-tile refusal (or a backend that cannot lower it) is
             # a legal search outcome, not an error: record it as
-            # infinitely slow so it can never win.
-            timings.append((opts, float("inf")))
-            continue
-        timings.append(
-            (
-                opts,
-                best_of(
-                    lambda: kernel(**arrays, **params),
-                    warmup=1, repeats=repeats,
-                ),
+            # infinitely slow so it can never win — and say why in the
+            # event log instead of silently recording inf.
+            ev = getattr(e, "evidence", None)
+            kind = getattr(ev, "claim", None) or (
+                "not-implemented"
+                if isinstance(e, NotImplementedError)
+                else type(e).__name__
             )
+            telemetry.event(
+                "tuning.candidate.refused",
+                group=group.name, backend=backend, kind=str(kind),
+                options=opts.describe(), detail=str(e),
+            )
+            timings.append((opts, float("inf")))
+            predicted.append(float("inf"))
+            continue
+        p = _predict(opts)
+        t = best_of(
+            lambda: kernel(**arrays, **params),
+            warmup=1, repeats=repeats,
+        )
+        timings.append((opts, t))
+        predicted.append(p)
+        telemetry.event(
+            "tuning.trial",
+            group=group.name, backend=backend, trial=len(timings),
+            options=opts.describe(), predicted_s=p, measured_s=t,
         )
     best = min(timings, key=lambda item: item[1])[0]
-    return ScheduleTuneResult(best, tuple(timings))
+    return ScheduleTuneResult(
+        best, tuple(timings),
+        tuple(predicted) if spec is not None else (),
+    )
 
 
 def autotune_tile(
@@ -172,3 +215,45 @@ def autotune_tile(
     )
     timings = {opts.tile: t for opts, t in result.timings}
     return TuneResult(result.best.tile, timings)
+
+
+def check_tune_model(
+    result: ScheduleTuneResult,
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    *,
+    spec: "object | str" = "paper-cpu",
+) -> list[str]:
+    """Re-derive every recorded prediction in ``result``; list any drift.
+
+    The mirror of :func:`repro.bench.check_sweep_model` for the tuning
+    surface: predictions are analytic, so on a deterministic spec
+    (``paper-cpu``) each recorded value must be *bit-exact* reproducible
+    from the group definition — any mismatch means the cost model
+    changed after the tuning run and the result's predictions are stale.
+    """
+    from .search import predict_schedule_time
+
+    problems: list[str] = []
+    if not result.predicted:
+        return ["result records no predictions; cannot re-derive"]
+    if len(result.predicted) != len(result.timings):
+        return [
+            f"{len(result.predicted)} predictions for "
+            f"{len(result.timings)} timings; result is malformed"
+        ]
+    for i, ((opts, _t), recorded) in enumerate(
+        zip(result.timings, result.predicted)
+    ):
+        try:
+            expected = predict_schedule_time(
+                group, shapes, opts, spec=spec
+            )
+        except (ValueError, NotImplementedError):
+            expected = float("inf")
+        if recorded != expected:
+            problems.append(
+                f"candidate {i} ({opts.describe()}): recorded "
+                f"prediction {recorded!r} != re-derived {expected!r}"
+            )
+    return problems

@@ -1,0 +1,191 @@
+"""Persistent tuning cache — schema ``snowflake-tune/1``.
+
+A search winner is stored per ``(tune_tag, machine fingerprint)``:
+
+* ``tune_tag`` identifies *what is being tuned* — the
+  :func:`repro.backends.jit.source_tag` of the group's baseline C
+  rendering (default :class:`~repro.schedule.ScheduleOptions`), which
+  keys on the stencil definitions, shapes, dtype **and** the active C
+  compiler, exactly like the JIT artifact cache;
+* the machine fingerprint identifies *where it was measured* — a
+  winner tuned on one machine must not silently steer another.
+
+Files live in :func:`repro.backends.jit.cache_dir` (honouring
+``SNOWFLAKE_CACHE_DIR``) as ``sf_tune_<tag>.<fingerprint>.json``.
+:func:`tuned_options` is the transparent-reload hook
+:func:`repro.schedule.schedule_for` calls when a caller expresses no
+schedule preference; every failure mode here degrades to ``None`` —
+tuning must never break compilation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import threading
+import time
+from typing import Mapping
+
+import numpy as np
+
+from ..core.stencil import StencilGroup
+from ..schedule.options import ScheduleOptions
+
+__all__ = [
+    "TUNE_SCHEMA",
+    "machine_fingerprint",
+    "tune_tag",
+    "winner_path",
+    "save_winner",
+    "load_winner",
+    "tuned_options",
+    "options_from_dict",
+]
+
+#: schema tag stamped into every cache file (versioned like
+#: ``snowflake-stats/1`` / ``snowflake-events/1``)
+TUNE_SCHEMA = "snowflake-tune/1"
+
+_MEMO: dict = {}
+_MEMO_LOCK = threading.Lock()
+
+
+def machine_fingerprint() -> str:
+    """Short stable fingerprint of the measuring machine + toolchain."""
+    cc = os.environ.get("SNOWFLAKE_CC", "gcc")
+    raw = repr(
+        (platform.system(), platform.machine(), os.cpu_count(), cc)
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+def tune_tag(
+    group: StencilGroup, shapes: Mapping[str, tuple[int, ...]]
+) -> str:
+    """Identity of the tuned program: source tag of the baseline render.
+
+    Rendering is pure Python (no compiler invoked), so the tag is
+    available even where the C toolchain is not.
+    """
+    from ..backends.c_backend import generate_c_source
+    from ..backends.jit import source_tag
+
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    source = generate_c_source(
+        group, norm, np.float64, schedule=ScheduleOptions()
+    )
+    return source_tag(source)
+
+
+def winner_path(
+    group: StencilGroup, shapes: Mapping[str, tuple[int, ...]]
+):
+    """Cache-file path for this group/shapes on this machine."""
+    from ..backends.jit import cache_dir
+
+    tag = tune_tag(group, shapes)
+    return cache_dir() / f"sf_tune_{tag}.{machine_fingerprint()}.json"
+
+
+def options_from_dict(d: Mapping) -> ScheduleOptions:
+    """Rebuild a :class:`ScheduleOptions` from its ``to_dict`` form."""
+    block = d.get("block")
+    return ScheduleOptions(
+        policy=d.get("policy", "greedy"),
+        fuse=bool(d.get("fuse", False)),
+        multicolor=bool(d.get("multicolor", True)),
+        tile=d.get("tile"),
+        block=tuple(block) if block is not None else None,
+        time_tile=int(d.get("time_tile", 1)),
+        unroll=d.get("unroll"),
+    )
+
+
+def save_winner(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    options: ScheduleOptions,
+    *,
+    backend: str,
+    measured_s: float,
+    predicted_s: float | None = None,
+    strategy: str = "",
+    trials: int = 0,
+) -> str:
+    """Persist a search winner; returns the file path written."""
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    path = winner_path(group, norm)
+    doc = {
+        "schema": TUNE_SCHEMA,
+        "created": round(time.time(), 3),
+        "group": group.name,
+        "tune_tag": tune_tag(group, norm),
+        "fingerprint": machine_fingerprint(),
+        "backend": backend,
+        "shapes": {g: list(s) for g, s in sorted(norm.items())},
+        "options": options.to_dict(),
+        "measured_s": measured_s,
+        "predicted_s": predicted_s,
+        "strategy": strategy,
+        "trials": trials,
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    with _MEMO_LOCK:
+        _MEMO.clear()  # a fresh winner must be visible in-process
+    return str(path)
+
+
+def load_winner(
+    group: StencilGroup, shapes: Mapping[str, tuple[int, ...]]
+) -> dict | None:
+    """Load and validate this group/shapes' winner record, or ``None``."""
+    try:
+        path = winner_path(group, shapes)
+        if not path.exists():
+            return None
+        doc = json.loads(path.read_text())
+    except Exception:
+        return None
+    if doc.get("schema") != TUNE_SCHEMA:
+        return None
+    if doc.get("fingerprint") != machine_fingerprint():
+        return None
+    if not isinstance(doc.get("options"), dict):
+        return None
+    return doc
+
+
+def tuned_options(
+    group: StencilGroup, shapes: Mapping[str, tuple[int, ...]]
+) -> ScheduleOptions | None:
+    """The persisted winner's options for transparent reload, or ``None``.
+
+    ``time_tile`` is stripped back to 1: a time-tiled kernel performs
+    ``k`` group applications per call, so silently reloading it would
+    change call semantics, not just speed.  Winners are memoized per
+    (group signature, shapes) so the hot compile path touches the disk
+    once.
+    """
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    key = (group.signature(), tuple(sorted(norm.items())))
+    with _MEMO_LOCK:
+        if key in _MEMO:
+            return _MEMO[key]
+    doc = load_winner(group, norm)
+    opts: ScheduleOptions | None = None
+    if doc is not None:
+        try:
+            opts = options_from_dict(doc["options"])
+            if opts.time_tile != 1:
+                from dataclasses import replace
+
+                opts = replace(opts, time_tile=1)
+        except Exception:
+            opts = None
+    with _MEMO_LOCK:
+        _MEMO[key] = opts
+    return opts

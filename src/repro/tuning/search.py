@@ -1,0 +1,527 @@
+"""Cost-model-guided schedule search (beam + simulated annealing).
+
+Replaces fixed-candidate enumeration with a real search over the
+transform space: candidates are :class:`~repro.schedule.ScheduleOptions`
+points (each the preset pipeline of transforms
+:func:`repro.transform.preset.preset_pipeline` renders), *predicted*
+with the analytic cost model (:mod:`repro.kernel.cost` traffic on a
+:class:`~repro.machine.specs.MachineSpec` roofline), and only the most
+promising predictions are *measured* with the existing min-over-repeats
+timing.  Illegal candidates (time-tile refusals, backends that cannot
+lower a knob) are recorded as ``refused`` trials with the refusing
+evidence kind — and emitted as ``tuning.candidate.refused`` events —
+instead of silently vanishing.
+
+Winners persist per ``(tune_tag, machine fingerprint)`` via
+:mod:`repro.tuning.cache` and are transparently reloaded by
+:func:`repro.schedule.schedule_for`.
+
+The prediction is deterministic — pure arithmetic over the kernel IR
+and the spec record — so on ``paper-cpu`` it is bit-exact reproducible;
+:func:`repro.tuning.autotune.check_tune_model` exploits that the same
+way ``bench.check_sweep_model`` does for the sweep model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+import numpy as np
+
+from .. import telemetry
+from ..core.stencil import StencilGroup
+from ..core.validate import iteration_shape
+from ..kernel.cost import WORD_BYTES, body_cost, swept_cost
+from ..kernel.lower import body_for
+from ..machine.specs import PAPER_PLATFORMS, MachineSpec, host_spec
+from ..schedule import ScheduleOptions, schedule_for
+from ..telemetry import tracing
+from ..util.timing import best_of
+
+__all__ = [
+    "Trial",
+    "SearchResult",
+    "predict_schedule_time",
+    "search_schedules",
+    "resolve_search_spec",
+]
+
+#: tile sizes the default search neighbourhood draws from
+TILE_LADDER = (None, 4, 8, 16, 32, 64)
+#: unroll factors the default search neighbourhood draws from
+UNROLL_LADDER = (None, 2, 4, 8)
+#: time-tile depths proposed by the default grid
+TIME_TILE_LADDER = (1, 2, 4)
+
+
+def resolve_search_spec(spec: "MachineSpec | str" = "paper-cpu") -> MachineSpec:
+    """Accept a :class:`MachineSpec` or a name (host/paper-cpu/paper-gpu)."""
+    if isinstance(spec, MachineSpec):
+        return spec
+    if spec == "host":
+        return host_spec(measure=True)
+    if spec in ("paper-cpu", "cpu"):
+        return PAPER_PLATFORMS["cpu"]
+    if spec in ("paper-gpu", "gpu"):
+        return PAPER_PLATFORMS["gpu"]
+    raise ValueError(
+        f"unknown machine spec {spec!r}; choose host, paper-cpu or "
+        "paper-gpu (or pass a MachineSpec)"
+    )
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One candidate visited by the search."""
+
+    options: ScheduleOptions
+    predicted_s: float
+    measured_s: float | None  # None until (unless) measured
+    status: str  # "measured" | "predicted" | "refused"
+    detail: str = ""  # refusal evidence kind, or ""
+
+    def to_dict(self) -> dict:
+        return {
+            "options": self.options.to_dict(),
+            "predicted_s": self.predicted_s,
+            "measured_s": self.measured_s,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one schedule search."""
+
+    best: ScheduleOptions | None
+    best_measured_s: float
+    best_predicted_s: float
+    trials: tuple[Trial, ...]
+    backend: str
+    budget: int
+    strategy: str
+
+    def measured(self) -> list[Trial]:
+        return [t for t in self.trials if t.status == "measured"]
+
+    def table(self) -> str:
+        """Fixed-width trial table for the CLI."""
+        lines = [
+            f"{'status':<9} {'predicted':>12} {'measured':>12}  options",
+            "-" * 72,
+        ]
+        for t in self.trials:
+            pred = (
+                f"{t.predicted_s * 1e6:10.1f}us"
+                if t.predicted_s != float("inf")
+                else "         -"
+            )
+            meas = (
+                f"{t.measured_s * 1e6:10.1f}us"
+                if t.measured_s is not None
+                else "         -"
+            )
+            opt = t.options.describe()
+            if t.detail:
+                opt += f"  [{t.detail}]"
+            mark = ""
+            if self.best is not None and t.options == self.best and (
+                t.status == "measured"
+            ):
+                mark = " *"
+            lines.append(f"{t.status:<9} {pred:>12} {meas:>12}  {opt}{mark}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "snowflake-tune-search/1",
+            "backend": self.backend,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "best": None if self.best is None else self.best.to_dict(),
+            "best_measured_s": self.best_measured_s,
+            "best_predicted_s": self.best_predicted_s,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+
+# ---------------------------------------------------------------------------
+# the analytic predictor
+# ---------------------------------------------------------------------------
+
+
+def _points(stencil, norm: Mapping[str, tuple[int, ...]]) -> int:
+    it_shape = iteration_shape(stencil, norm)
+    return sum(
+        r.npoints
+        for r in stencil.domain.resolve(it_shape)
+        if not r.is_empty()
+    )
+
+
+def predict_schedule_time(
+    group: StencilGroup,
+    shapes: Mapping[str, tuple[int, ...]],
+    options: ScheduleOptions,
+    *,
+    spec: "MachineSpec | str" = "paper-cpu",
+) -> float:
+    """Model seconds per kernel call for ``group`` under ``options``.
+
+    Deterministic compulsory-traffic model: each step moves
+    ``points x bytes/point`` through the roofline bandwidth the working
+    set earns (:meth:`~repro.machine.specs.MachineSpec.effective_bw`);
+    a time tile of depth ``k`` performs ``k`` applications per call
+    using the swept (cache-resident) traffic model; snapshot steps pay
+    the gather copy; every step launch pays the spec's per-launch
+    overhead.  Raises whatever :func:`~repro.schedule.schedule_for`
+    raises on an illegal candidate (typed
+    :class:`~repro.transform.TransformError` for refused rewrites).
+    """
+    spec = resolve_search_spec(spec)
+    norm = {g: tuple(int(x) for x in s) for g, s in shapes.items()}
+    sched = schedule_for(group, norm, options)
+    k = 1 if sched.time_tile is None else sched.time_tile.k
+    ws = sum(
+        float(np.prod(s)) * WORD_BYTES for s in norm.values()
+    )
+    bw = spec.effective_bw(ws)
+    seconds = 0.0
+    launches = 0
+    for step in sched.steps():
+        launches += 1
+        for i in step.stencils:
+            st = group[i]
+            body, _ = body_for(st)
+            if k > 1:
+                bpp = swept_cost(
+                    body, st.output, k,
+                    tile_bytes=ws, cache_bytes=spec.cache_bytes,
+                ).swept_bytes_per_point
+            else:
+                bpp = body_cost(body, st.output).bytes_per_point
+            seconds += _points(st, norm) * bpp / bw
+        if step.snapshot:
+            g = group[step.head].output
+            snap_bytes = float(np.prod(norm[g])) * WORD_BYTES
+            seconds += 2.0 * snap_bytes / bw  # gather copy: read + write
+    seconds *= k  # k applications per call
+    seconds += launches * k * spec.launch_overhead
+    return seconds
+
+
+# ---------------------------------------------------------------------------
+# candidate space
+# ---------------------------------------------------------------------------
+
+
+def _default_grid(base: ScheduleOptions) -> list[ScheduleOptions]:
+    """The seed candidate grid the beam predicts over."""
+    out: list[ScheduleOptions] = []
+    seen: set = set()
+    for k in TIME_TILE_LADDER:
+        for f in (False, True):
+            for t in TILE_LADDER:
+                cand = replace(base, tile=t, fuse=f, time_tile=k)
+                if cand not in seen:
+                    seen.add(cand)
+                    out.append(cand)
+    return out
+
+
+def _neighbours(opts: ScheduleOptions) -> list[ScheduleOptions]:
+    """Single-knob mutations of one candidate (the search moves)."""
+    out: list[ScheduleOptions] = []
+    ti = TILE_LADDER.index(opts.tile) if opts.tile in TILE_LADDER else 0
+    for j in (ti - 1, ti + 1):
+        if 0 <= j < len(TILE_LADDER):
+            out.append(replace(opts, tile=TILE_LADDER[j]))
+    ui = (
+        UNROLL_LADDER.index(opts.unroll)
+        if opts.unroll in UNROLL_LADDER
+        else 0
+    )
+    for j in (ui - 1, ui + 1):
+        if 0 <= j < len(UNROLL_LADDER):
+            out.append(replace(opts, unroll=UNROLL_LADDER[j]))
+    out.append(replace(opts, fuse=not opts.fuse))
+    ki = (
+        TIME_TILE_LADDER.index(opts.time_tile)
+        if opts.time_tile in TIME_TILE_LADDER
+        else 0
+    )
+    for j in (ki - 1, ki + 1):
+        if 0 <= j < len(TIME_TILE_LADDER):
+            out.append(replace(opts, time_tile=TIME_TILE_LADDER[j]))
+    return [o for o in out if o != opts]
+
+
+def _refusal_kind(exc: Exception) -> str:
+    ev = getattr(exc, "evidence", None)
+    kind = getattr(ev, "claim", None)
+    if kind:
+        return str(kind)
+    if isinstance(exc, NotImplementedError):
+        return "not-implemented"
+    return type(exc).__name__
+
+
+# ---------------------------------------------------------------------------
+# the search proper
+# ---------------------------------------------------------------------------
+
+
+class _Bench:
+    """Compile-and-measure harness shared by both strategies."""
+
+    def __init__(
+        self, group, arrays, params, backend, repeats, backend_options
+    ):
+        self.group = group
+        self.arrays = arrays
+        self.params = dict(params or {})
+        self.shapes = {
+            g: tuple(int(x) for x in a.shape) for g, a in arrays.items()
+        }
+        self.backend = backend
+        self.repeats = repeats
+        self.backend_options = backend_options
+        self.measured: dict[ScheduleOptions, float] = {}
+
+    def measure(self, opts: ScheduleOptions) -> float:
+        """Min-over-repeats seconds; raises on refused candidates."""
+        if opts in self.measured:
+            return self.measured[opts]
+        sched = schedule_for(self.group, self.shapes, opts)
+        kernel = self.group.compile(
+            backend=self.backend, shapes=self.shapes, schedule=sched,
+            **self.backend_options,
+        )
+        t = best_of(
+            lambda: kernel(**self.arrays, **self.params),
+            warmup=1, repeats=self.repeats,
+        )
+        self.measured[opts] = t
+        return t
+
+
+def search_schedules(
+    group: StencilGroup,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, float] | None = None,
+    *,
+    backend: str = "c",
+    budget: int = 12,
+    repeats: int = 3,
+    strategy: str = "beam",
+    spec: "MachineSpec | str" = "paper-cpu",
+    seed: int = 0,
+    base: ScheduleOptions | None = None,
+    beam_width: int = 4,
+    persist: bool = True,
+    **backend_options,
+) -> SearchResult:
+    """Search the schedule space; measure at most ``budget`` candidates.
+
+    ``strategy`` is ``"beam"`` (predict the whole seed grid, measure the
+    ``beam_width`` best predictions, then hill-climb by mutating the
+    measured winner) or ``"anneal"`` (simulated annealing over single-
+    knob mutations with the prediction as the proposal filter).
+    ``arrays`` are working copies — the search mutates them.  The winner
+    is persisted to the tuning cache (:mod:`repro.tuning.cache`) unless
+    ``persist=False``, and reloaded transparently by
+    :func:`repro.schedule.schedule_for` in later processes.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget!r}")
+    if strategy not in ("beam", "anneal"):
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose beam or anneal"
+        )
+    mspec = resolve_search_spec(spec)
+    base = base or ScheduleOptions()
+    bench = _Bench(group, arrays, params, backend, repeats, backend_options)
+    trials: list[Trial] = []
+    predictions: dict[ScheduleOptions, float] = {}
+    refused: set = set()
+
+    def predict(opts: ScheduleOptions) -> float | None:
+        """Predicted seconds, or None when the candidate is refused."""
+        if opts in predictions:
+            return predictions[opts]
+        if opts in refused:
+            return None
+        try:
+            p = predict_schedule_time(
+                group, bench.shapes, opts, spec=mspec
+            )
+        except (ValueError, NotImplementedError) as e:
+            kind = _refusal_kind(e)
+            refused.add(opts)
+            trials.append(
+                Trial(opts, float("inf"), None, "refused", kind)
+            )
+            telemetry.event(
+                "tuning.candidate.refused",
+                group=group.name, backend=backend, kind=kind,
+                options=opts.describe(), detail=str(e),
+            )
+            return None
+        predictions[opts] = p
+        return p
+
+    def measure(opts: ScheduleOptions) -> float | None:
+        """Measured seconds, or None when compile/lower refuses."""
+        p = predict(opts)
+        if p is None:
+            return None
+        try:
+            t = bench.measure(opts)
+        except (ValueError, NotImplementedError) as e:
+            kind = _refusal_kind(e)
+            refused.add(opts)
+            trials.append(Trial(opts, p, None, "refused", kind))
+            telemetry.event(
+                "tuning.candidate.refused",
+                group=group.name, backend=backend, kind=kind,
+                options=opts.describe(), detail=str(e),
+            )
+            return None
+        trials.append(Trial(opts, p, t, "measured"))
+        telemetry.event(
+            "tuning.trial",
+            group=group.name, backend=backend, trial=len(bench.measured),
+            options=opts.describe(), predicted_s=p, measured_s=t,
+        )
+        return t
+
+    with tracing.span(
+        "tuning.search", cat="analysis", group=group.name,
+        backend=backend, strategy=strategy, budget=budget,
+    ):
+        if strategy == "beam":
+            _run_beam(base, budget, beam_width, predict, measure, bench)
+        else:
+            _run_anneal(
+                base, budget, seed, predict, measure, bench
+            )
+
+    best: ScheduleOptions | None = None
+    best_t = float("inf")
+    for opts, t in bench.measured.items():
+        if t < best_t:
+            best, best_t = opts, t
+    best_p = predictions.get(best, float("inf")) if best else float("inf")
+    # Candidates predicted but never measured still show in the table.
+    for opts, p in predictions.items():
+        if opts not in bench.measured and opts not in refused:
+            if not any(
+                t.options == opts and t.status != "refused" for t in trials
+            ):
+                trials.append(Trial(opts, p, None, "predicted"))
+    result = SearchResult(
+        best=best,
+        best_measured_s=best_t,
+        best_predicted_s=best_p,
+        trials=tuple(trials),
+        backend=backend,
+        budget=budget,
+        strategy=strategy,
+    )
+    if best is not None:
+        telemetry.event(
+            "tuning.winner",
+            group=group.name, backend=backend,
+            options=best.describe(), measured_s=best_t,
+            predicted_s=best_p, strategy=strategy,
+            trials=len(bench.measured),
+        )
+        if persist:
+            from .cache import save_winner
+
+            try:
+                save_winner(
+                    group, bench.shapes, best, backend=backend,
+                    measured_s=best_t,
+                    predicted_s=None if best_p == float("inf") else best_p,
+                    strategy=strategy, trials=len(bench.measured),
+                )
+            except Exception:
+                pass  # persistence is best-effort; the result stands
+    return result
+
+
+def _run_beam(base, budget, beam_width, predict, measure, bench) -> None:
+    """Predict the grid; measure the beam; hill-climb the winner."""
+    grid = _default_grid(base)
+    scored = [
+        (p, o) for o in grid if (p := predict(o)) is not None
+    ]
+    scored.sort(key=lambda it: it[0])
+    for _, opts in scored[: max(1, beam_width)]:
+        if len(bench.measured) >= budget:
+            return
+        measure(opts)
+    # hill-climb: mutate the measured winner, measure the most
+    # promising unmeasured prediction, repeat while budget remains
+    while len(bench.measured) < budget:
+        if not bench.measured:
+            return
+        cur_best = min(bench.measured, key=bench.measured.get)
+        frontier = [
+            (p, o)
+            for o in _neighbours(cur_best)
+            if o not in bench.measured
+            and (p := predict(o)) is not None
+        ]
+        # fall back to the grid's next-best unmeasured prediction
+        frontier += [
+            (p, o)
+            for p, o in scored
+            if o not in bench.measured
+        ]
+        frontier = [
+            (p, o) for p, o in frontier if o not in bench.measured
+        ]
+        if not frontier:
+            return
+        frontier.sort(key=lambda it: it[0])
+        measure(frontier[0][1])
+
+
+def _run_anneal(base, budget, seed, predict, measure, bench) -> None:
+    """Simulated annealing over single-knob mutations."""
+    rng = random.Random(seed)
+    current = base
+    cur_t = measure(current)
+    attempts = 0
+    while cur_t is None and attempts < 8:
+        # the base itself may be refused on this backend; jitter off it
+        moves = _neighbours(current)
+        if not moves:
+            return
+        current = rng.choice(moves)
+        cur_t = measure(current)
+        attempts += 1
+    if cur_t is None:
+        return
+    temp0 = cur_t  # temperature scale: the starting runtime itself
+    step = 0
+    while len(bench.measured) < budget:
+        moves = [m for m in _neighbours(current) if predict(m) is not None]
+        if not moves:
+            return
+        nxt = rng.choice(moves)
+        nxt_t = measure(nxt)
+        if nxt_t is None:
+            continue
+        step += 1
+        temp = temp0 * max(0.05, 1.0 - step / max(1, budget))
+        if nxt_t < cur_t or rng.random() < math.exp(
+            -(nxt_t - cur_t) / max(temp, 1e-12)
+        ):
+            current, cur_t = nxt, nxt_t

@@ -1,0 +1,155 @@
+"""Property test: random *legal* transform chains preserve results.
+
+Any composition of legality-checked transforms must compute the same
+function as the untransformed schedule — the transforms only move work
+around, never change it.  Hypothesis drives random chains over the GSRB
+workload; every chain that survives the legality checks must produce
+bitwise-identical grids on the numpy backend (and the schedule must
+still pass :func:`verify_schedule` by construction).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule import base_schedule
+from repro.transform import (
+    TransformError,
+    color_sweep,
+    distribute,
+    fuse,
+    reorder,
+    split,
+    tile,
+    unroll,
+    verify_schedule,
+)
+from tests.schedule._cases import gsrb_workload
+
+GROUP, SHAPES, ARRAYS = gsrb_workload()
+
+
+def _reference():
+    ref = {g: a.copy() for g, a in ARRAYS.items()}
+    GROUP.compile(backend="numpy", shapes=SHAPES)(**ref)
+    return ref
+
+
+REF = _reference()
+
+
+@st.composite
+def transform_chains(draw):
+    """A chain of 1-5 transforms, some depending on the running state."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    moves = []
+    for _ in range(n):
+        moves.append(
+            draw(
+                st.sampled_from(
+                    ("fuse", "distribute", "color_sweep", "tile",
+                     "unroll", "split", "reorder")
+                )
+            )
+        )
+    params = draw(
+        st.tuples(
+            st.sampled_from((2, 4, 8, 16)),   # tile size
+            st.sampled_from((2, 4)),          # unroll factor
+            st.integers(min_value=0, max_value=40),  # split seed
+            st.integers(min_value=0, max_value=40),  # reorder seed
+        )
+    )
+    return moves, params
+
+
+@settings(max_examples=25, deadline=None)
+@given(transform_chains())
+def test_random_legal_chain_preserves_results(chain):
+    moves, (tile_n, unroll_n, split_seed, reorder_seed) = chain
+    sched = base_schedule(GROUP, SHAPES)
+    applied = []
+    for name in moves:
+        if name == "fuse":
+            t = fuse()
+        elif name == "distribute":
+            t = distribute()
+        elif name == "color_sweep":
+            t = color_sweep()
+        elif name == "tile":
+            t = tile(tile_n)
+        elif name == "unroll":
+            t = unroll(unroll_n)
+        elif name == "split":
+            flat = list(sched.steps())
+            wide = [
+                i for i, s in enumerate(flat) if len(s.stencils) > 1
+            ]
+            if not wide:
+                continue  # nothing fused yet — skip this move
+            i = wide[split_seed % len(wide)]
+            t = split(i, 1 + split_seed % (len(flat[i].stencils) - 1))
+        else:  # reorder
+            multi = [
+                i for i, ph in enumerate(sched.phases)
+                if len(ph.steps) >= 2
+            ]
+            if not multi:
+                continue
+            pi = multi[reorder_seed % len(multi)]
+            k = len(sched.phases[pi].steps)
+            perm = tuple((j + 1 + reorder_seed) % k for j in range(k))
+            t = reorder(pi, perm)
+        sched = t(sched)
+        applied.append(t.describe())
+    # by construction every applied transform re-verified the schedule
+    assert verify_schedule(sched) == [], applied
+    got = {g: a.copy() for g, a in ARRAYS.items()}
+    GROUP.compile(backend="numpy", shapes=SHAPES, schedule=sched)(**got)
+    for g in sorted(SHAPES):
+        np.testing.assert_array_equal(
+            got[g], REF[g],
+            err_msg=f"chain {applied} changed the computation on {g!r}",
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from((2, 4, 8)),
+    st.booleans(),
+    st.booleans(),
+)
+def test_knob_chains_match_fresh_presets(tile_n, do_fuse, do_sweep):
+    """Chained knob transforms equal the one-shot preset of the result."""
+    from repro.schedule import ScheduleOptions, build_schedule
+
+    sched = base_schedule(GROUP, SHAPES)
+    if do_fuse:
+        sched = fuse()(sched)
+    if do_sweep:
+        sched = color_sweep()(sched)
+    sched = tile(tile_n)(sched)
+    opts = ScheduleOptions(
+        fuse=do_fuse, multicolor=do_sweep, tile=tile_n
+    ) if do_sweep else ScheduleOptions(
+        fuse=do_fuse, multicolor=False, tile=tile_n
+    )
+    # base_schedule starts multicolor=False; color_sweep turns it on
+    expected = build_schedule(GROUP, SHAPES, opts)
+    assert sched.options == opts
+    assert [s.stencils for s in sched.steps()] == [
+        s.stencils for s in expected.steps()
+    ]
+    assert [s.sweep for s in sched.steps()] == [
+        s.sweep for s in expected.steps()
+    ]
+
+
+def test_illegal_moves_never_corrupt_the_schedule():
+    """A refused transform leaves the input schedule untouched."""
+    sched = base_schedule(GROUP, SHAPES)
+    before = sched.to_dict()
+    with pytest.raises(TransformError):
+        split(999, 1)(sched)
+    assert sched.to_dict() == before

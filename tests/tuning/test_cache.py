@@ -1,0 +1,187 @@
+"""Persistent tuning cache: round-trip, validation, transparent reload."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.schedule import ScheduleOptions, schedule_for
+from repro.tuning import cache
+from repro.tuning.cache import (
+    TUNE_SCHEMA,
+    load_winner,
+    machine_fingerprint,
+    options_from_dict,
+    save_winner,
+    tune_tag,
+    tuned_options,
+    winner_path,
+)
+from tests.schedule._cases import fusable_pair_group, laplacian_pair
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path))
+    cache._MEMO.clear()
+    yield tmp_path
+    cache._MEMO.clear()
+
+
+class TestRoundTrip:
+    def test_save_then_load(self):
+        group, shapes = laplacian_pair()
+        opts = ScheduleOptions(tile=8, fuse=False)
+        path = save_winner(
+            group, shapes, opts, backend="numpy",
+            measured_s=1.5e-4, predicted_s=2.5e-6,
+            strategy="beam", trials=3,
+        )
+        doc = load_winner(group, shapes)
+        assert doc is not None
+        assert doc["schema"] == TUNE_SCHEMA
+        assert doc["options"] == opts.to_dict()
+        assert doc["measured_s"] == 1.5e-4
+        assert doc["tune_tag"] == tune_tag(group, shapes)
+        assert doc["fingerprint"] == machine_fingerprint()
+        assert str(winner_path(group, shapes)) == path
+
+    def test_options_round_trip_every_field(self):
+        opts = ScheduleOptions(
+            policy="wavefront", fuse=True, multicolor=False,
+            tile=16, block=(8, 4), time_tile=2, unroll=4,
+        )
+        assert options_from_dict(opts.to_dict()) == opts
+
+    def test_tuned_options_strips_time_tile(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8, time_tile=4),
+            backend="numpy", measured_s=1e-4,
+        )
+        opts = tuned_options(group, shapes)
+        assert opts is not None
+        assert opts.tile == 8
+        assert opts.time_tile == 1  # call semantics must not change
+
+    def test_different_shapes_do_not_collide(self):
+        group, shapes = laplacian_pair(12)
+        _, other = laplacian_pair(16)
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8),
+            backend="numpy", measured_s=1e-4,
+        )
+        assert tuned_options(group, shapes) is not None
+        assert tuned_options(group, other) is None
+
+
+class TestValidation:
+    def test_missing_file_is_none(self):
+        group, shapes = laplacian_pair()
+        assert load_winner(group, shapes) is None
+        assert tuned_options(group, shapes) is None
+
+    def test_wrong_schema_rejected(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8),
+            backend="numpy", measured_s=1e-4,
+        )
+        path = winner_path(group, shapes)
+        doc = json.loads(path.read_text())
+        doc["schema"] = "snowflake-tune/999"
+        path.write_text(json.dumps(doc))
+        cache._MEMO.clear()
+        assert load_winner(group, shapes) is None
+
+    def test_wrong_fingerprint_rejected(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8),
+            backend="numpy", measured_s=1e-4,
+        )
+        path = winner_path(group, shapes)
+        doc = json.loads(path.read_text())
+        doc["fingerprint"] = "deadbeefdeadbeef"
+        path.write_text(json.dumps(doc))
+        cache._MEMO.clear()
+        assert load_winner(group, shapes) is None
+
+    def test_corrupt_json_degrades_to_none(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8),
+            backend="numpy", measured_s=1e-4,
+        )
+        winner_path(group, shapes).write_text("{not json")
+        cache._MEMO.clear()
+        assert load_winner(group, shapes) is None
+        assert tuned_options(group, shapes) is None
+
+
+class TestTransparentReload:
+    def test_schedule_for_picks_up_the_winner(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=16),
+            backend="numpy", measured_s=1e-4,
+        )
+        sched = schedule_for(group, shapes, None)
+        assert sched.options.tile == 16
+
+    def test_explicit_options_always_win(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=16),
+            backend="numpy", measured_s=1e-4,
+        )
+        sched = schedule_for(group, shapes, ScheduleOptions(tile=4))
+        assert sched.options.tile == 4
+
+    def test_env_gate_disables_reload(self, monkeypatch):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=16),
+            backend="numpy", measured_s=1e-4,
+        )
+        monkeypatch.setenv("SNOWFLAKE_TUNED", "0")
+        sched = schedule_for(group, shapes, None)
+        assert sched.options == ScheduleOptions()
+
+    def test_unrelated_group_unaffected(self):
+        group, shapes = laplacian_pair()
+        other, other_shapes = fusable_pair_group()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=16),
+            backend="numpy", measured_s=1e-4,
+        )
+        sched = schedule_for(other, other_shapes, None)
+        assert sched.options == ScheduleOptions()
+
+    def test_winner_executes_correctly(self):
+        group, shapes = laplacian_pair()
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8, fuse=False),
+            backend="numpy", measured_s=1e-4,
+        )
+        rng = np.random.default_rng(5)
+        arrays = {g: rng.standard_normal(s) for g, s in shapes.items()}
+        ref = {g: a.copy() for g, a in arrays.items()}
+        group.compile(
+            backend="numpy", shapes=shapes,
+            schedule=schedule_for(group, shapes, ScheduleOptions()),
+        )(**ref)
+        got = {g: a.copy() for g, a in arrays.items()}
+        group.compile(backend="numpy", shapes=shapes)(**got)
+        for g in sorted(shapes):
+            np.testing.assert_array_equal(got[g], ref[g])
+
+    def test_save_clears_memo_in_process(self):
+        group, shapes = laplacian_pair()
+        assert tuned_options(group, shapes) is None  # memoizes the miss
+        save_winner(
+            group, shapes, ScheduleOptions(tile=8),
+            backend="numpy", measured_s=1e-4,
+        )
+        opts = tuned_options(group, shapes)
+        assert opts is not None and opts.tile == 8

@@ -1,0 +1,233 @@
+"""Cost-model-guided schedule search: prediction, search, telemetry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.components import Component
+from repro.core.domains import RectDomain
+from repro.core.stencil import Stencil, StencilGroup
+from repro.core.weights import WeightArray
+from repro.schedule import ScheduleOptions
+from repro.tuning import (
+    autotune_schedule,
+    check_tune_model,
+    predict_schedule_time,
+    search_schedules,
+)
+LAP = WeightArray([[0, 1, 0], [1, -4, 1], [0, 1, 0]])
+
+
+def lap_workload(n=12):
+    s = Stencil(Component("u", LAP), "out", RectDomain((1, 1), (-1, -1)))
+    group = StencilGroup([s], name="lap")
+    shapes = {"u": (n, n), "out": (n, n)}
+    rng = np.random.default_rng(3)
+    arrays = {g: rng.standard_normal(sh) for g, sh in shapes.items()}
+    return group, shapes, arrays
+
+
+def snapshot_workload(n=10):
+    """In-place symmetric read — refuses time tiling (snapshot step)."""
+    w = WeightArray([[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    s = Stencil(
+        Component("u", w), "u", RectDomain((1, 1), (-1, -1)),
+        name="inplace",
+    )
+    group = StencilGroup([s], name="snap")
+    shapes = {"u": (n, n)}
+    rng = np.random.default_rng(3)
+    arrays = {g: rng.standard_normal(sh) for g, sh in shapes.items()}
+    return group, shapes, arrays
+
+
+class TestPredict:
+    def test_deterministic_on_paper_spec(self):
+        group, shapes, _ = lap_workload()
+        opts = ScheduleOptions(tile=8)
+        a = predict_schedule_time(group, shapes, opts, spec="paper-cpu")
+        b = predict_schedule_time(group, shapes, opts, spec="paper-cpu")
+        assert a == b  # bit-exact: pure arithmetic on a fixed record
+        assert 0.0 < a < 1.0
+
+    def test_time_tile_prediction_uses_swept_traffic(self):
+        group, shapes, _ = lap_workload(64)
+        base = predict_schedule_time(
+            group, shapes, ScheduleOptions(), spec="paper-cpu"
+        )
+        tiled = predict_schedule_time(
+            group, shapes, ScheduleOptions(time_tile=4), spec="paper-cpu"
+        )
+        # k applications per call: more than base, less than k * base
+        assert base < tiled < 4 * base
+
+    def test_refused_candidate_raises_through(self):
+        from repro.transform import TransformError
+
+        group, shapes, _ = snapshot_workload()
+        with pytest.raises(TransformError):
+            predict_schedule_time(
+                group, shapes,
+                ScheduleOptions(multicolor=False, time_tile=2),
+                spec="paper-cpu",
+            )
+
+    def test_unknown_spec_rejected(self):
+        group, shapes, _ = lap_workload()
+        with pytest.raises(ValueError, match="unknown machine spec"):
+            predict_schedule_time(
+                group, shapes, ScheduleOptions(), spec="nonesuch"
+            )
+
+
+class TestSearch:
+    def test_beam_measures_at_most_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path))
+        group, shapes, arrays = lap_workload()
+        res = search_schedules(
+            group, arrays, backend="numpy", budget=3, repeats=1,
+        )
+        assert res.best is not None
+        assert len(res.measured()) <= 3
+        assert res.best_measured_s == min(
+            t.measured_s for t in res.measured()
+        )
+        assert res.strategy == "beam"
+        json.dumps(res.to_dict())  # artifact must serialize
+
+    def test_anneal_strategy_runs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path))
+        group, shapes, arrays = lap_workload()
+        res = search_schedules(
+            group, arrays, backend="numpy", budget=3, repeats=1,
+            strategy="anneal", seed=7, persist=False,
+        )
+        assert res.best is not None
+        assert res.strategy == "anneal"
+
+    def test_refused_candidates_recorded_with_evidence_kind(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("SNOWFLAKE_TELEMETRY", "events")
+        telemetry.events.reset()
+        group, shapes, arrays = snapshot_workload()
+        res = search_schedules(
+            group, arrays, backend="numpy", budget=2, repeats=1,
+            base=ScheduleOptions(multicolor=False), persist=False,
+        )
+        refused = [t for t in res.trials if t.status == "refused"]
+        assert refused, "time-tiled candidates must be refused"
+        assert all(
+            t.detail == "time-tile-refused" for t in refused
+        )
+        recs = [
+            r for r in telemetry.events.records()
+            if r["event"] == "tuning.candidate.refused"
+        ]
+        assert recs and recs[0]["kind"] == "time-tile-refused"
+
+    def test_trial_and_winner_events_emitted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("SNOWFLAKE_TELEMETRY", "events")
+        telemetry.events.reset()
+        group, shapes, arrays = lap_workload()
+        search_schedules(
+            group, arrays, backend="numpy", budget=2, repeats=1,
+        )
+        counts = telemetry.events.counts_by_name()
+        assert counts.get("tuning.trial", 0) >= 1
+        assert counts.get("tuning.winner", 0) == 1
+
+    def test_table_renders_all_trials(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_CACHE_DIR", str(tmp_path))
+        group, shapes, arrays = lap_workload()
+        res = search_schedules(
+            group, arrays, backend="numpy", budget=2, repeats=1,
+            persist=False,
+        )
+        table = res.table()
+        assert "measured" in table and "predicted" in table
+        assert table.count("\n") + 1 >= len(res.trials)
+
+    def test_bad_budget_and_strategy_rejected(self):
+        group, shapes, arrays = lap_workload()
+        with pytest.raises(ValueError):
+            search_schedules(group, arrays, backend="numpy", budget=0)
+        with pytest.raises(ValueError):
+            search_schedules(
+                group, arrays, backend="numpy", strategy="genetic"
+            )
+
+
+class TestAutotunePredictions:
+    def test_predictions_recorded_next_to_timings(self):
+        group, shapes, arrays = lap_workload()
+        res = autotune_schedule(
+            group, arrays, backend="numpy",
+            candidates=[ScheduleOptions(), ScheduleOptions(tile=8)],
+            repeats=1,
+        )
+        assert len(res.predicted) == len(res.timings) == 2
+        assert all(p > 0 for p in res.predicted)
+
+    def test_check_tune_model_bit_exact(self):
+        group, shapes, arrays = lap_workload()
+        res = autotune_schedule(
+            group, arrays, backend="numpy",
+            candidates=[ScheduleOptions(), ScheduleOptions(tile=8)],
+            repeats=1,
+        )
+        assert check_tune_model(res, group, shapes) == []
+
+    def test_check_tune_model_catches_drift(self):
+        from repro.tuning import ScheduleTuneResult
+
+        group, shapes, arrays = lap_workload()
+        res = autotune_schedule(
+            group, arrays, backend="numpy",
+            candidates=[ScheduleOptions()], repeats=1,
+        )
+        stale = ScheduleTuneResult(
+            res.best, res.timings, (res.predicted[0] * 1.5,)
+        )
+        problems = check_tune_model(stale, group, shapes)
+        assert problems and "recorded" in problems[0]
+
+    def test_check_tune_model_requires_predictions(self):
+        from repro.tuning import ScheduleTuneResult
+
+        group, shapes, arrays = lap_workload()
+        bare = ScheduleTuneResult(ScheduleOptions(), ((ScheduleOptions(), 1.0),))
+        problems = check_tune_model(bare, group, shapes)
+        assert problems == ["result records no predictions; cannot re-derive"]
+
+    def test_legacy_positional_construction_still_works(self):
+        from repro.tuning import ScheduleTuneResult
+
+        r = ScheduleTuneResult(
+            ScheduleOptions(), ((ScheduleOptions(), 1.0),)
+        )
+        assert r.predicted == ()
+        assert r.best_time() == 1.0
+
+    def test_gsrb_refusal_path_emits_event(self, monkeypatch):
+        monkeypatch.setenv("SNOWFLAKE_TELEMETRY", "events")
+        telemetry.events.reset()
+        group, shapes, arrays = snapshot_workload()
+        res = autotune_schedule(
+            group, arrays, backend="numpy",
+            candidates=[
+                ScheduleOptions(multicolor=False),
+                ScheduleOptions(multicolor=False, time_tile=2),
+            ],
+            repeats=1,
+        )
+        assert res.timings[1][1] == float("inf")
+        recs = [
+            r for r in telemetry.events.records()
+            if r["event"] == "tuning.candidate.refused"
+        ]
+        assert recs and recs[0]["kind"] == "time-tile-refused"
